@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Handling noisy, mesh-decompiled inputs (paper Section 6.4, Fig. 16).
+
+Flat CSGs produced by mesh decompilers carry floating-point round-off.  This
+example runs Szalinski on the paper's noisy three-hexagon model and then on a
+clean model perturbed by our decompiler-noise simulator, showing that the
+epsilon-tolerant solvers still recover the underlying closed forms.
+
+Run with:  python examples/noisy_decompile.py
+"""
+
+from repro import SynthesisConfig, synthesize
+from repro.benchsuite.models import fig16_noisy_hexagons, linear_array
+from repro.benchsuite.noise import add_decompiler_noise, noise_floor
+from repro.csg.build import scale, unit
+from repro.csg.metrics import measure
+from repro.csg.pretty import format_openscad_like
+from repro.verify.validate import validate_synthesis
+
+
+def main() -> None:
+    # Part 1: the paper's decompiled hexagon model (Fig. 16).
+    noisy = fig16_noisy_hexagons()
+    print(f"Fig. 16 input: {measure(noisy).nodes} nodes, "
+          f"noise floor {noise_floor(noisy):.2e}")
+    result = synthesize(noisy, SynthesisConfig())
+    best = result.best_structured() or result.best
+    print(f"Synthesized in {result.seconds:.2f}s; structured rank "
+          f"{result.structured_rank()}, {measure(best.term).nodes} nodes:")
+    print(format_openscad_like(best.term))
+    print()
+
+    # Part 2: take a clean 8-element array, add synthetic decompiler noise at
+    # increasing magnitudes, and watch where inference stops recovering the loop.
+    clean = linear_array(8, (5.0, 0.0, 0.0), scale(2.0, 3.0, 1.0, unit()))
+    for magnitude in (0.0, 1e-4, 5e-4, 2e-3, 1e-2):
+        noisy_model = add_decompiler_noise(clean, magnitude=magnitude, seed=11)
+        res = synthesize(noisy_model, SynthesisConfig(epsilon=1e-3))
+        structured = res.exposes_structure()
+        validation = validate_synthesis(noisy_model, res.output_term())
+        print(f"noise {magnitude:7.0e}: structure recovered = {structured!s:5} "
+              f"(validation {'OK' if validation.valid else 'FAILED'}, "
+              f"{res.output_metrics().nodes} nodes)")
+    print("\nNoise within the paper's epsilon (1e-3) still yields loops; well "
+          "beyond it, Szalinski falls back to (correct) flat output.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""The benchmark suite: the paper's 16 Thingiverse models and figure examples.
+
+The original evaluation downloads 16 models from Thingiverse (Table 1); those
+exact files are not redistributable, so this package re-creates each model
+programmatically with the same structural profile the paper reports — the
+same kind and amount of repetition (e.g. 60 rotated gear teeth, a 2x20 grid
+of pin covers, models with no repetitive structure at all), comparable node
+counts, and the same provenance split: "T" models are written as OpenSCAD
+sources (with loops) and flattened by :mod:`repro.scad`, "I" models are built
+directly as flat CSG, as the authors did.
+
+:mod:`repro.benchsuite.table1` runs Szalinski over the whole suite and
+reproduces Table 1; :mod:`repro.benchsuite.models` contains the running
+examples from the paper's figures.
+"""
+
+from repro.benchsuite.models import (
+    fig2_translated_cubes,
+    fig10_nested_affine,
+    fig14_grid,
+    fig16_noisy_hexagons,
+    fig17_dice_six,
+    fig18_hexcell_plate,
+    gear_model,
+)
+from repro.benchsuite.suite import Benchmark, BENCHMARKS, get_benchmark, benchmark_names
+from repro.benchsuite.table1 import Table1Row, run_benchmark, run_table1, format_table
+
+__all__ = [
+    "fig2_translated_cubes",
+    "fig10_nested_affine",
+    "fig14_grid",
+    "fig16_noisy_hexagons",
+    "fig17_dice_six",
+    "fig18_hexcell_plate",
+    "gear_model",
+    "Benchmark",
+    "BENCHMARKS",
+    "get_benchmark",
+    "benchmark_names",
+    "Table1Row",
+    "run_benchmark",
+    "run_table1",
+    "format_table",
+]

@@ -1,0 +1,219 @@
+"""The running examples from the paper's figures, as flat CSG builders.
+
+These are the small models used throughout the paper to explain the
+algorithm; each builder returns the *flat* CSG that Szalinski takes as input,
+and the corresponding bench (one per figure) checks that synthesis recovers
+the structure the figure shows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.csg.build import (
+    cube,
+    cylinder,
+    diff,
+    hexagon,
+    rotate,
+    scale,
+    sphere,
+    translate,
+    union,
+    union_all,
+    unit,
+)
+from repro.lang.term import Term
+
+
+def fig2_translated_cubes(count: int = 5, spacing: float = 2.0) -> Term:
+    """Fig. 2: ``count`` unit cubes translated along x by multiples of ``spacing``."""
+    return union_all(
+        [translate(spacing * (i + 1), 0.0, 0.0, unit()) for i in range(count)]
+    )
+
+
+def fig10_nested_affine(count: int = 3) -> Term:
+    """Fig. 10: cubes under nested Scale/Rotate/Translate with linear parameters."""
+    parts = []
+    for i in range(count):
+        parts.append(
+            translate(
+                2.0 * i + 2.0,
+                2.0 * i + 4.0,
+                2.0 * i + 6.0,
+                rotate(
+                    15.0 * i + 30.0,
+                    0.0,
+                    0.0,
+                    scale(2.0 * i + 1.0, 2.0 * i + 3.0, 2.0 * i + 5.0, unit()),
+                ),
+            )
+        )
+    return union_all(parts)
+
+
+def fig14_grid(rows: int = 2, columns: int = 2, pitch: float = 24.0) -> Term:
+    """Fig. 14: a regular grid of unit cubes centred on the origin."""
+    offset = pitch / 2.0
+    parts = []
+    for row in range(rows):
+        for column in range(columns):
+            parts.append(
+                translate(
+                    pitch * row - offset, pitch * column - offset, 0.0, unit()
+                )
+            )
+    return union_all(parts)
+
+
+def fig16_noisy_hexagons() -> Term:
+    """Fig. 16: the decompiled (noisy) union of three scaled hexagonal prisms.
+
+    The vectors carry the floating-point noise the mesh decompiler introduced;
+    only the first two hexagons lie on a clean linear progression, which is
+    why the paper's output keeps the third literal.
+    """
+    return union(
+        translate(9.5, 1.5, 0.25, scale(1.0, 0.866, 0.5, rotate(0.0, 0.0, 0.0, hexagon()))),
+        union(
+            translate(
+                6.0,
+                1.4999996667,
+                0.25,
+                scale(1.6, 1.386, 0.5, rotate(0.0, 0.0, 0.0, hexagon())),
+            ),
+            translate(
+                2.0,
+                1.4999994660,
+                0.25,
+                scale(2.0, 1.732, 0.5, rotate(0.0, 0.0, 0.0, hexagon())),
+            ),
+        ),
+    )
+
+
+def fig17_dice_six(pip_radius: float = 0.75) -> Term:
+    """Fig. 17: the six-pip face of a die — a 2x3 grid of scaled spheres."""
+    parts = []
+    for y in (2.0, -2.0):
+        for z in (2.0, 0.0, -2.0):
+            parts.append(
+                translate(-5.0, y, z, scale(pip_radius, pip_radius, pip_radius, sphere()))
+            )
+    return union_all(parts)
+
+
+def fig18_hexcell_plate(rows: int = 2, columns: int = 2) -> Term:
+    """Figs. 18/19: a plate with a grid of hexagonal cells removed.
+
+    The cell centres admit both a doubly-nested-loop description and a
+    trigonometric one (they lie on a circle), which is the paper's example of
+    solution diversity.
+    """
+    cells = []
+    for row in range(rows):
+        for column in range(columns):
+            cells.append(
+                translate(15.0 - 10.0 * row, 5.0 + 10.0 * column, 0.0, unit())
+            )
+    plate = scale(20.0, 20.0, 3.0, unit())
+    return diff(plate, union_all(cells))
+
+
+def gear_model(
+    teeth: int = 60,
+    *,
+    tooth_size: Sequence[float] = (8.0, 4.0, 50.0),
+    pitch_radius: float = 125.0,
+) -> Term:
+    """Fig. 1/3: a spur gear — a cylindrical base with ``teeth`` rotated teeth.
+
+    The flat trace places each tooth by translating it to the pitch radius and
+    rotating it by its angular position, exactly as the Thingiverse model's
+    unrolled OpenSCAD does.
+    """
+    tooth = scale(tooth_size[0], tooth_size[1], tooth_size[2], unit())
+    placed = [
+        rotate(0.0, 0.0, (360.0 / teeth) * (i + 1), translate(pitch_radius, 0.0, 0.0, tooth))
+        for i in range(teeth)
+    ]
+    hub = union(
+        scale(80.0, 80.0, 100.0, cylinder()),
+        scale(120.0, 120.0, 50.0, cylinder()),
+    )
+    shaft = translate(0.0, 0.0, -1.0, scale(25.0, 25.0, 102.0, cylinder()))
+    base = diff(hub, shaft)
+    return diff(base, union_all(placed))
+
+
+def circular_pattern(
+    count: int,
+    radius: float,
+    child: Term,
+    *,
+    center: Sequence[float] = (0.0, 0.0, 0.0),
+    z: float = 0.0,
+) -> Term:
+    """A flat union of ``count`` copies of ``child`` arranged on a circle.
+
+    The positions are computed trigonometric­ally (so the flat vectors look
+    like decompiler output with sin/cos values), which exercises the
+    trigonometric solver.
+    """
+    parts: List[Term] = []
+    for i in range(count):
+        angle = 2.0 * math.pi * i / count
+        parts.append(
+            translate(
+                center[0] + radius * math.cos(angle),
+                center[1] + radius * math.sin(angle),
+                z,
+                child,
+            )
+        )
+    return union_all(parts)
+
+
+def linear_array(
+    count: int,
+    step: Sequence[float],
+    child: Term,
+    *,
+    start: Sequence[float] = (0.0, 0.0, 0.0),
+) -> Term:
+    """A flat union of ``count`` copies of ``child`` spaced by ``step``."""
+    parts = [
+        translate(
+            start[0] + step[0] * i,
+            start[1] + step[1] * i,
+            start[2] + step[2] * i,
+            child,
+        )
+        for i in range(count)
+    ]
+    return union_all(parts)
+
+
+def grid_array(
+    rows: int,
+    columns: int,
+    pitch: Sequence[float],
+    child: Term,
+    *,
+    start: Sequence[float] = (0.0, 0.0, 0.0),
+) -> Term:
+    """A flat union of copies of ``child`` on a rows x columns grid."""
+    parts = []
+    for row in range(rows):
+        for column in range(columns):
+            parts.append(
+                translate(
+                    start[0] + pitch[0] * row,
+                    start[1] + pitch[1] * column,
+                    start[2],
+                    child,
+                )
+            )
+    return union_all(parts)

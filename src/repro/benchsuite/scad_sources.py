@@ -1,0 +1,158 @@
+"""OpenSCAD sources for the "T" benchmarks.
+
+In the paper, 70% of the benchmark models came from Thingiverse as OpenSCAD
+designs (most already containing loops); the evaluation flattens them into
+loop-free CSG before running Szalinski.  The original files are not
+redistributable, so each source below is a re-creation with the same
+structural profile reported in Table 1 (what repeats, how many times, and in
+how many nested dimensions).  They are flattened by
+:func:`repro.scad.flatten_source`, which is exactly the role of the paper's
+OpenSCAD-to-CSG translator.
+"""
+
+CNC_END_MILL = """
+// 3244600:cnc-end-mill -- a holder block with a 4x4 grid of tool bores.
+base_w = 120; base_d = 120; base_h = 40;
+bore_r = 8; bore_depth = 36;
+difference() {
+    cube([base_w, base_d, base_h]);
+    for (row = [0 : 3])
+        for (col = [0 : 3])
+            translate([15 + row * 30, 15 + col * 30, 6])
+                cylinder(h = bore_depth, r = bore_r);
+}
+"""
+
+NINTENDO_SLOT = """
+// 3432939:nintendo-slot -- a cartridge storage unit with 11 angled slots.
+module slot() {
+    union() {
+        cube([4, 40, 40]);
+        translate([0, 0, 40]) rotate([0, 45, 0]) cube([4, 40, 6]);
+        translate([0, 36, 0]) cube([4, 4, 46]);
+    }
+}
+difference() {
+    cube([100, 48, 52]);
+    for (i = [0 : 10])
+        translate([6 + i * 8.5, 4, 4]) slot();
+}
+"""
+
+CARD_ORG = """
+// 3171605:card-org -- a card organizer with 8 parallel slots.
+difference() {
+    cube([90, 60, 30]);
+    for (i = [0 : 7])
+        translate([6 + i * 10.5, 5, 4]) cube([6, 50, 30]);
+}
+"""
+
+RASP_PIE = """
+// 3097951:rasp-pie -- a GPIO pin cover: 2 columns x 20 rows of pin sockets.
+difference() {
+    cube([12, 55, 8]);
+    for (col = [0 : 1])
+        for (row = [0 : 19])
+            translate([2.5 + col * 5, 2.2 + row * 2.6, 2])
+                cube([2.2, 2.2, 8]);
+}
+"""
+
+BOX_TRAY = """
+// 3148599:box-tray -- a sorting tray with a 3x5 grid of compartments.
+difference() {
+    cube([160, 100, 30]);
+    for (row = [0 : 2])
+        for (col = [0 : 4])
+            translate([6 + row * 52, 6 + col * 19, 4])
+                cube([46, 15, 30]);
+}
+"""
+
+MED_SLIDE = """
+// 3331008:med-slide -- a pill sorter sliding into a tube: 7 slots on a base.
+module pocket() {
+    union() {
+        cube([16, 20, 14]);
+        translate([2, 2, -2]) cube([12, 16, 4]);
+    }
+}
+difference() {
+    union() {
+        cylinder(h = 150, r = 18);
+        translate([-10, -22, 0]) cube([20, 8, 150]);
+        translate([-10, 14, 0]) cube([20, 8, 150]);
+    }
+    for (i = [0 : 6])
+        translate([-8, -10, 8 + i * 20]) pocket();
+}
+"""
+
+DICE = """
+// 3094201:dice -- a die; the dominant repeated structure is a 3x3 pip grid.
+module pip() { sphere(r = 1.6); }
+difference() {
+    cube([20, 20, 20], center = true);
+    // single pip on one face
+    translate([10, 0, 0]) pip();
+    // two-pip face
+    translate([0, 10, 4]) pip();
+    translate([0, 10, -4]) pip();
+    // three-pip face (diagonal, irregular spacing on purpose)
+    translate([0, -10, 0]) pip();
+    translate([5, -10, 6]) pip();
+    translate([-5, -10, -6]) pip();
+    // the "nine" face laid out as a full 3x3 grid of pips
+    for (row = [0 : 2])
+        for (col = [0 : 2])
+            translate([-10, -5 + row * 5, -5 + col * 5]) pip();
+}
+"""
+
+TAPE_STORE = """
+// 3072857:tape-store -- a dispenser body with 10 identical tape slots.
+difference() {
+    cube([220, 60, 70]);
+    for (i = [0 : 9])
+        translate([8 + i * 21, 6, 8]) cube([16, 48, 70]);
+}
+"""
+
+RELAY_BOX = """
+// 3452260:relay-box -- a small enclosure with two identical clip posts.
+union() {
+    difference() {
+        cube([50, 30, 20]);
+        translate([3, 3, 3]) cube([44, 24, 20]);
+    }
+    for (i = [0 : 1])
+        translate([10 + i * 26, 12, 20]) cube([4, 6, 8]);
+}
+"""
+
+COMPOSE = """
+// 3333935:compose -- a one-off bracket with no repetitive structure.
+union() {
+    cube([60, 20, 6]);
+    translate([0, 0, 6]) cube([6, 20, 34]);
+    translate([54, 0, 6]) cube([6, 20, 14]);
+    translate([22, 3, 6]) cylinder(h = 12, r = 5);
+    translate([40, 14, 6]) sphere(r = 4);
+    translate([6, 8, 6]) cube([10, 4, 22]);
+}
+"""
+
+#: Mapping used by the suite definition.
+SOURCES = {
+    "cnc-end-mill": CNC_END_MILL,
+    "nintendo-slot": NINTENDO_SLOT,
+    "card-org": CARD_ORG,
+    "rasp-pie": RASP_PIE,
+    "box-tray": BOX_TRAY,
+    "med-slide": MED_SLIDE,
+    "dice": DICE,
+    "tape-store": TAPE_STORE,
+    "relay-box": RELAY_BOX,
+    "compose": COMPOSE,
+}

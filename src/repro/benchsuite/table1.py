@@ -1,0 +1,128 @@
+"""The Table 1 harness.
+
+Runs Szalinski over every benchmark and reports the same columns as the
+paper's Table 1: input/output AST node counts (#i-ns / #o-ns), primitive
+counts (#i-p / #o-p), AST depths (#i-d / #o-d), the loop structure (n-l), the
+function class (f), the synthesis time, and the rank of the structured
+program among the top-5 — plus the headline aggregates (average size
+reduction and the fraction of models whose structure was exposed).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.benchsuite.suite import BENCHMARKS, Benchmark
+from repro.core.config import SynthesisConfig
+from repro.core.pipeline import SynthesisResult, synthesize
+from repro.csg.metrics import measure
+
+
+@dataclass
+class Table1Row:
+    """One row of the reproduced Table 1."""
+
+    name: str
+    source: str
+    input_nodes: int
+    output_nodes: int
+    input_primitives: int
+    output_primitives: int
+    input_depth: int
+    output_depth: int
+    loops: str
+    functions: str
+    seconds: float
+    rank: Optional[int]
+    exposes_structure: bool
+    expected_structure: bool
+
+    @property
+    def size_reduction(self) -> float:
+        if self.input_nodes == 0:
+            return 0.0
+        return 1.0 - self.output_nodes / self.input_nodes
+
+    @property
+    def matches_expectation(self) -> bool:
+        return self.exposes_structure == self.expected_structure
+
+
+def run_benchmark(
+    benchmark: Benchmark, config: Optional[SynthesisConfig] = None
+) -> Table1Row:
+    """Run one benchmark and produce its Table 1 row."""
+    config = config or SynthesisConfig(cost_function=benchmark.cost_function)
+    flat = benchmark.build()
+    input_metrics = measure(flat)
+    start = time.perf_counter()
+    result: SynthesisResult = synthesize(flat, config)
+    elapsed = time.perf_counter() - start
+    output_metrics = result.output_metrics()
+    return Table1Row(
+        name=benchmark.label(),
+        source=benchmark.source,
+        input_nodes=input_metrics.nodes,
+        output_nodes=output_metrics.nodes,
+        input_primitives=input_metrics.primitives,
+        output_primitives=output_metrics.primitives,
+        input_depth=input_metrics.depth,
+        output_depth=output_metrics.depth,
+        loops=result.loop_summary(),
+        functions=result.function_summary(),
+        seconds=elapsed,
+        rank=result.structured_rank(),
+        exposes_structure=result.exposes_structure(),
+        expected_structure=benchmark.expects_structure,
+    )
+
+
+def run_table1(
+    benchmarks: Optional[Sequence[Benchmark]] = None,
+    config: Optional[SynthesisConfig] = None,
+) -> List[Table1Row]:
+    """Run the whole suite (or a subset) and return the rows in order."""
+    rows = []
+    for benchmark in benchmarks or BENCHMARKS:
+        row_config = config or SynthesisConfig(cost_function=benchmark.cost_function)
+        rows.append(run_benchmark(benchmark, row_config))
+    return rows
+
+
+def average_size_reduction(rows: Sequence[Table1Row]) -> float:
+    """The paper's headline aggregate: mean fractional node-count reduction."""
+    if not rows:
+        return 0.0
+    return sum(row.size_reduction for row in rows) / len(rows)
+
+
+def structure_exposure_rate(rows: Sequence[Table1Row]) -> float:
+    """Fraction of models for which loops/functions were exposed."""
+    if not rows:
+        return 0.0
+    return sum(1 for row in rows if row.exposes_structure) / len(rows)
+
+
+def format_table(rows: Sequence[Table1Row]) -> str:
+    """Render the rows as an aligned text table (like the paper's Table 1)."""
+    header = (
+        f"{'Name':<24}{'#i-ns':>7}{'#o-ns':>7}{'#i-p':>6}{'#o-p':>6}"
+        f"{'#i-d':>6}{'#o-d':>6}  {'n-l':<12}{'f':<8}{'t(s)':>8}{'r':>4}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<24}{row.input_nodes:>7}{row.output_nodes:>7}"
+            f"{row.input_primitives:>6}{row.output_primitives:>6}"
+            f"{row.input_depth:>6}{row.output_depth:>6}  "
+            f"{row.loops:<12}{row.functions:<8}{row.seconds:>8.2f}"
+            f"{(row.rank if row.rank is not None else '-'):>4}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"average size reduction: {average_size_reduction(rows) * 100.0:.1f}%   "
+        f"structure exposed: {structure_exposure_rate(rows) * 100.0:.0f}% of models"
+    )
+    return "\n".join(lines)

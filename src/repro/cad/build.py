@@ -1,0 +1,162 @@
+"""Constructors for LambdaCAD terms.
+
+These builders are used by the function- and loop-inference components when
+they add structured e-nodes to the e-graph, by the benchmark suite's
+reference ("human-written") programs, and by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.lang.term import Term
+
+Number = Union[int, float]
+TermLike = Union[Term, int, float, str]
+
+
+def _term(value: TermLike) -> Term:
+    """Coerce numbers and symbols to leaf terms; pass terms through."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        raise ValueError("booleans are not LambdaCAD values")
+    return Term(value)
+
+
+# -- lists ---------------------------------------------------------------------
+
+def nil() -> Term:
+    """The empty list."""
+    return Term("Nil")
+
+
+def cons(head: TermLike, tail: TermLike) -> Term:
+    """``Cons (head, tail)``."""
+    return Term("Cons", (_term(head), _term(tail)))
+
+
+def cons_list(items: Iterable[TermLike]) -> Term:
+    """Build a proper ``Cons``/``Nil`` list from a Python iterable."""
+    result = nil()
+    for item in reversed(list(items)):
+        result = cons(item, result)
+    return result
+
+
+def int_list(values: Iterable[int]) -> Term:
+    """An index list such as ``Cons (Int 0, Cons (Int 1, Nil))``."""
+    return cons_list(Term("Int", (Term.num(int(v)),)) for v in values)
+
+
+def concat(left: TermLike, right: TermLike) -> Term:
+    """``Concat (left, right)`` — list append."""
+    return Term("Concat", (_term(left), _term(right)))
+
+
+def repeat(item: TermLike, count: int) -> Term:
+    """``Repeat (item, count)`` — a list of ``count`` copies of ``item``."""
+    return Term("Repeat", (_term(item), Term.num(int(count))))
+
+
+# -- higher-order combinators ---------------------------------------------------
+
+def fold(function: TermLike, accumulator: TermLike, items: TermLike) -> Term:
+    """``Fold (function, accumulator, items)``."""
+    return Term("Fold", (_term(function), _term(accumulator), _term(items)))
+
+
+def fold_union(items: TermLike) -> Term:
+    """The ubiquitous ``Fold (Union, Empty, items)`` shape."""
+    return fold(Term("Union"), Term("Empty"), items)
+
+
+def map_(function: TermLike, items: TermLike) -> Term:
+    """``Map (function, items)``."""
+    return Term("Map", (_term(function), _term(items)))
+
+
+def mapi(function: TermLike, items: TermLike) -> Term:
+    """``Mapi (function, items)`` — map with the element index."""
+    return Term("Mapi", (_term(function), _term(items)))
+
+
+# -- functions and variables ----------------------------------------------------
+
+def fun(params: Sequence[str], body: TermLike) -> Term:
+    """``Fun ((params...), body)``; e.g. ``fun(("i", "c"), body)``."""
+    param_terms = tuple(Term(str(p)) for p in params)
+    return Term("Fun", param_terms + (_term(body),))
+
+
+def var(name: str) -> Term:
+    """A variable reference ``Var name``."""
+    return Term("Var", (Term(name),))
+
+
+def app(function: TermLike, *arguments: TermLike) -> Term:
+    """``App (function, arguments...)``."""
+    return Term("App", (_term(function),) + tuple(_term(a) for a in arguments))
+
+
+# -- affine transformations with expression arguments ----------------------------
+
+def affine(op: str, x: TermLike, y: TermLike, z: TermLike, child: TermLike) -> Term:
+    """An affine node whose vector components may be arbitrary expressions.
+
+    The flat-CSG builders in :mod:`repro.csg.build` require literal numbers;
+    inside LambdaCAD function bodies the components are expressions of the
+    loop index (``Translate (2 * (i + 1), 0, 0, c)``), which this builder
+    allows.
+    """
+    if op not in ("Translate", "Scale", "Rotate"):
+        raise ValueError(f"not an affine operator: {op!r}")
+    return Term(op, (_term(x), _term(y), _term(z), _term(child)))
+
+
+def translate_expr(x: TermLike, y: TermLike, z: TermLike, child: TermLike) -> Term:
+    """``Translate`` with expression arguments."""
+    return affine("Translate", x, y, z, child)
+
+
+def scale_expr(x: TermLike, y: TermLike, z: TermLike, child: TermLike) -> Term:
+    """``Scale`` with expression arguments."""
+    return affine("Scale", x, y, z, child)
+
+
+def rotate_expr(x: TermLike, y: TermLike, z: TermLike, child: TermLike) -> Term:
+    """``Rotate`` with expression arguments (degrees)."""
+    return affine("Rotate", x, y, z, child)
+
+
+# -- arithmetic -------------------------------------------------------------------
+
+def add(left: TermLike, right: TermLike) -> Term:
+    return Term("Add", (_term(left), _term(right)))
+
+
+def sub(left: TermLike, right: TermLike) -> Term:
+    return Term("Sub", (_term(left), _term(right)))
+
+
+def mul(left: TermLike, right: TermLike) -> Term:
+    return Term("Mul", (_term(left), _term(right)))
+
+
+def div(left: TermLike, right: TermLike) -> Term:
+    return Term("Div", (_term(left), _term(right)))
+
+
+def sin(argument: TermLike) -> Term:
+    """``Sin x`` with ``x`` in degrees."""
+    return Term("Sin", (_term(argument),))
+
+
+def cos(argument: TermLike) -> Term:
+    """``Cos x`` with ``x`` in degrees."""
+    return Term("Cos", (_term(argument),))
+
+
+def arctan(y: TermLike, x: TermLike) -> Term:
+    """``Arctan (y, x)`` — two-argument arctangent, result in degrees."""
+    return Term("Arctan", (_term(y), _term(x)))

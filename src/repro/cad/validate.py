@@ -1,0 +1,115 @@
+"""Validation of LambdaCAD terms.
+
+Checks arity and vocabulary: every operator must be part of the LambdaCAD
+grammar (paper Fig. 6), applied to the right number of children.  Free
+variables are permitted only under a binding ``Fun``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.cad.ops import ARITH_OPS, HIGHER_ORDER_OPS, LIST_OPS, TRIG_OPS
+from repro.csg.ops import AFFINE_OPS, BOOLEAN_OPS, CSG_PRIMITIVES, EXTERNAL_OP
+from repro.lang.term import Term
+
+
+class LambdaCadValidationError(ValueError):
+    """Raised when a term is not well-formed LambdaCAD."""
+
+
+_FIXED_ARITY = {
+    "Cons": 2,
+    "Concat": 2,
+    "Repeat": 2,
+    "Fold": 3,
+    "Map": 2,
+    "Mapi": 2,
+    "Add": 2,
+    "Sub": 2,
+    "Mul": 2,
+    "Div": 2,
+    "Sin": 1,
+    "Cos": 1,
+    "Arctan": 2,
+    "Var": 1,
+    "Int": 1,
+    "Float": 1,
+}
+
+
+def validate_lambda_cad(
+    term: Term, bound: FrozenSet[str] = frozenset()
+) -> None:
+    """Raise :class:`LambdaCadValidationError` unless ``term`` is well-formed."""
+    op = term.op
+
+    if term.is_number:
+        return
+
+    if op in CSG_PRIMITIVES or op == EXTERNAL_OP or op == "Nil":
+        if term.children:
+            raise LambdaCadValidationError(f"{op} must not have children")
+        return
+
+    if op in AFFINE_OPS:
+        if len(term.children) != 4:
+            raise LambdaCadValidationError(f"{op} expects 4 arguments")
+        for child in term.children:
+            validate_lambda_cad(child, bound)
+        return
+
+    if op in BOOLEAN_OPS:
+        if term.is_leaf:
+            # A bare Union/Diff/Inter is a function value (Fold's first argument).
+            return
+        if len(term.children) != 2:
+            raise LambdaCadValidationError(f"{op} expects 2 arguments")
+        for child in term.children:
+            validate_lambda_cad(child, bound)
+        return
+
+    if op == "Fun":
+        if len(term.children) < 2:
+            raise LambdaCadValidationError("Fun expects parameters and a body")
+        *params, body = term.children
+        names = []
+        for p in params:
+            if not p.is_leaf or not isinstance(p.op, str):
+                raise LambdaCadValidationError(f"Fun parameter is not a name: {p!r}")
+            names.append(p.op)
+        validate_lambda_cad(body, bound | frozenset(names))
+        return
+
+    if op == "App":
+        if len(term.children) < 1:
+            raise LambdaCadValidationError("App expects at least a function")
+        for child in term.children:
+            validate_lambda_cad(child, bound)
+        return
+
+    if op == "Var":
+        if len(term.children) != 1 or not term.children[0].is_leaf:
+            raise LambdaCadValidationError("Var expects a single name")
+        name = str(term.children[0].op)
+        if name not in bound:
+            raise LambdaCadValidationError(f"unbound variable {name!r}")
+        return
+
+    if op in _FIXED_ARITY:
+        expected = _FIXED_ARITY[op]
+        if len(term.children) != expected:
+            raise LambdaCadValidationError(
+                f"{op} expects {expected} arguments, got {len(term.children)}"
+            )
+        for child in term.children:
+            validate_lambda_cad(child, bound)
+        return
+
+    if term.is_leaf and isinstance(op, str):
+        # Bare symbols are allowed when bound by an enclosing Fun (the
+        # paper's programs write parameters like ``c`` and ``i`` directly) or
+        # when they name an opaque sub-design (like ``Tooth``).
+        return
+
+    raise LambdaCadValidationError(f"operator {op!r} is not part of LambdaCAD")

@@ -1,0 +1,124 @@
+"""Command-line interface for the Szalinski reproduction.
+
+Usage examples::
+
+    szalinski synth model.csg            # synthesize top-k programs for a flat CSG file
+    szalinski flatten design.scad        # flatten an OpenSCAD design to flat CSG
+    szalinski table1                     # reproduce Table 1 over the benchmark suite
+    szalinski bench gear                 # run one benchmark by name
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.benchsuite.suite import BENCHMARKS, benchmark_names, get_benchmark
+from repro.benchsuite.table1 import format_table, run_benchmark, run_table1
+from repro.core.config import SynthesisConfig
+from repro.core.pipeline import synthesize
+from repro.csg.parser import parse_csg
+from repro.csg.pretty import format_openscad_like, format_term
+from repro.scad.flatten import flatten_source
+from repro.verify.validate import validate_synthesis
+
+
+def _config_from_args(args: argparse.Namespace) -> SynthesisConfig:
+    return SynthesisConfig(
+        epsilon=args.epsilon,
+        top_k=args.top_k,
+        cost_function=args.cost,
+    )
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    text = Path(args.input).read_text()
+    csg = parse_csg(text, strict=False)
+    result = synthesize(csg, _config_from_args(args))
+    for candidate in result.candidates:
+        print(f"-- rank {candidate.rank} (cost {candidate.cost:g}, loops={candidate.has_loops})")
+        print(format_openscad_like(candidate.term))
+    if args.validate:
+        report = validate_synthesis(csg, result.output_term())
+        print(f"-- validation: {'OK' if report.valid else 'FAILED'}")
+    print(
+        f"-- {result.seconds:.2f}s, loops {result.loop_summary()}, "
+        f"functions {result.function_summary()}, "
+        f"size reduction {result.size_reduction() * 100.0:.1f}%"
+    )
+    return 0
+
+
+def _cmd_flatten(args: argparse.Namespace) -> int:
+    source = Path(args.input).read_text()
+    flat = flatten_source(source)
+    print(format_term(flat))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = run_table1()
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    benchmark = get_benchmark(args.name)
+    row = run_benchmark(benchmark)
+    print(format_table([row]))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for benchmark in BENCHMARKS:
+        structure = "structured" if benchmark.expects_structure else "no structure"
+        print(f"{benchmark.name:<16} {benchmark.label():<26} [{benchmark.source}] {structure}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="szalinski",
+        description="Szalinski reproduction: infer loops and functions in flat CSG models.",
+    )
+    parser.add_argument("--epsilon", type=float, default=1e-3, help="solver noise tolerance")
+    parser.add_argument("--top-k", type=int, default=5, help="number of programs to return")
+    parser.add_argument(
+        "--cost", choices=("ast-size", "reward-loops"), default="ast-size",
+        help="extraction cost function",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    synth = subparsers.add_parser("synth", help="synthesize programs for a flat CSG file")
+    synth.add_argument("input", help="path to an s-expression CSG file")
+    synth.add_argument("--validate", action="store_true", help="validate the output by unrolling")
+    synth.set_defaults(func=_cmd_synth)
+
+    flatten = subparsers.add_parser("flatten", help="flatten an OpenSCAD file to flat CSG")
+    flatten.add_argument("input", help="path to an OpenSCAD file")
+    flatten.set_defaults(func=_cmd_flatten)
+
+    table1 = subparsers.add_parser("table1", help="reproduce Table 1 over the benchmark suite")
+    table1.set_defaults(func=_cmd_table1)
+
+    bench = subparsers.add_parser("bench", help="run a single benchmark by name")
+    bench.add_argument("name", choices=benchmark_names())
+    bench.set_defaults(func=_cmd_bench)
+
+    lister = subparsers.add_parser("list", help="list the benchmark suite")
+    lister.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``szalinski`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

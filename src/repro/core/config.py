@@ -1,0 +1,69 @@
+"""Configuration of the synthesis pipeline.
+
+All of the paper's knobs live here: the noise tolerance epsilon (0.001 by
+default, Section 4.1), the number of returned programs k (5 in the
+evaluation), the cost function name, and the resource limits that play the
+role of the algorithm's ``fuel`` argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.solvers.closed_form import SolverConfig
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Knobs for :func:`repro.core.pipeline.synthesize`."""
+
+    #: Tolerance used by the arithmetic solvers on every observation.
+    epsilon: float = 1e-3
+
+    #: How many candidate programs to return (the paper uses top-5).
+    top_k: int = 5
+
+    #: Cost function name: ``"ast-size"`` (default) or ``"reward-loops"``.
+    cost_function: str = "ast-size"
+
+    #: Iterations of the *outer* loop of Fig. 5.  One iteration was enough
+    #: for every model in the paper's evaluation.
+    main_iterations: int = 1
+
+    #: Limits of the inner equality-saturation runner ("fuel").  A dozen
+    #: iterations saturate the affine rules; the incremental fold rules keep
+    #: firing longer on long chains, but the big-step chain-fold rule already
+    #: exposes the fully folded view in the first iteration, so further
+    #: iterations only add redundant partially-folded variants.
+    rewrite_iterations: int = 12
+    max_enodes: int = 200_000
+    max_seconds: float = 60.0
+
+    #: Rule categories to enable (see :func:`repro.core.rules.rules_by_category`).
+    rule_categories: Tuple[str, ...] = (
+        "affine-lifting",
+        "affine-collapsing",
+        "affine-reordering",
+        "folds",
+        "boolean",
+    )
+
+    #: Whether to run the arithmetic components at all (useful for ablations).
+    enable_function_inference: bool = True
+    enable_loop_inference: bool = True
+    enable_list_sorting: bool = True
+
+    #: Maximum nesting depth attempted by loop inference (the paper supports
+    #: up to three nested loops; two is what real designs need).
+    max_loop_nesting: int = 3
+
+    def solver_config(self) -> SolverConfig:
+        """The arithmetic-solver configuration implied by this config."""
+        return SolverConfig(epsilon=self.epsilon)
+
+    def with_cost_function(self, name: str) -> "SynthesisConfig":
+        """A copy of this config using a different cost function."""
+        from dataclasses import replace
+
+        return replace(self, cost_function=name)

@@ -1,0 +1,177 @@
+"""List determinization (paper Section 4.2, Fig. 5 line 5).
+
+After rewriting, each element of a folded list lives in an e-class with many
+equivalent variants — the affine reordering rules alone can create
+exponentially many orderings of a nested transformation chain.  The function
+solvers need one *concrete* affine-transformed CAD per element, and the
+chains must be *uniform* across elements (same transformation types, in the
+same order) or the layer-by-layer vector extraction is meaningless.
+
+The determinizer implements the paper's heuristic: pick a representative for
+the first element, record its chain signature (the sequence of affine
+operators from the outside in), and then force every other element to a
+variant with the same signature, searching its e-class for one.  Elements
+whose class has no variant with that signature cause the whole signature to
+be abandoned and the next candidate signature to be tried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.csg.ops import AFFINE_OPS, affine_chain
+from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.extract import Extractor, ast_size_cost
+from repro.lang.term import Term
+
+
+@dataclass
+class DeterminizedList:
+    """A concrete, uniform view of a folded list."""
+
+    #: One concrete term per element, all sharing the same affine signature.
+    elements: List[Term]
+    #: The shared affine signature, outermost first (possibly empty).
+    signature: Tuple[str, ...]
+    #: E-class ids the elements came from (parallel to ``elements``).
+    element_classes: List[int]
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+
+class Determinizer:
+    """Chooses consistent concrete variants for list elements."""
+
+    def __init__(self, egraph: EGraph, max_signature_depth: int = 4):
+        self.egraph = egraph
+        self.max_signature_depth = max_signature_depth
+        self._extractor = Extractor(egraph, ast_size_cost)
+
+    # -- public ------------------------------------------------------------------
+
+    def determinize(self, element_classes: Sequence[int]) -> Optional[DeterminizedList]:
+        """Produce a uniform concrete element list, or ``None`` if impossible."""
+        variants = self.determinize_all(element_classes, max_variants=1)
+        return variants[0] if variants else None
+
+    def determinize_all(
+        self, element_classes: Sequence[int], max_variants: int = 4
+    ) -> List[DeterminizedList]:
+        """Produce up to ``max_variants`` uniform concrete views of the list.
+
+        Different affine orderings expose different vectors to the solvers —
+        only the ordering matching the design's latent structure yields
+        closed forms (e.g. Fig. 10's Translate/Rotate/Scale chain), so the
+        arithmetic components try each returned variant in turn.
+        """
+        element_classes = [self.egraph.find(c) for c in element_classes]
+        if not element_classes:
+            return []
+
+        variants: List[DeterminizedList] = []
+        for signature in self._candidate_signatures(element_classes[0]):
+            if len(variants) >= max_variants:
+                break
+            elements = self._materialize_all(element_classes, signature)
+            if elements is not None:
+                variants.append(
+                    DeterminizedList(
+                        elements=elements,
+                        signature=signature,
+                        element_classes=list(element_classes),
+                    )
+                )
+        return variants
+
+    # -- candidate signatures -----------------------------------------------------
+
+    def _candidate_signatures(self, class_id: int) -> List[Tuple[str, ...]]:
+        """Affine signatures available for the first element, longest first.
+
+        Longer signatures are preferred because they expose more layers to
+        the function solver (a chain ``Translate . Rotate . Scale`` gives
+        three solvable layers; its collapsed variants give fewer).
+        """
+        signatures = set()
+        self._collect_signatures(class_id, (), signatures, set())
+        ordered = sorted(signatures, key=lambda s: (-len(s), s))
+        return ordered or [()]
+
+    def _collect_signatures(
+        self,
+        class_id: int,
+        prefix: Tuple[str, ...],
+        accumulator: set,
+        visiting: set,
+    ) -> None:
+        class_id = self.egraph.find(class_id)
+        if len(prefix) >= self.max_signature_depth:
+            accumulator.add(prefix)
+            return
+        key = (class_id, prefix)
+        if key in visiting:
+            return
+        visiting.add(key)
+        accumulator.add(prefix)
+        for enode in self.egraph.nodes(class_id):
+            if enode.op in AFFINE_OPS and len(enode.args) == 4:
+                self._collect_signatures(
+                    enode.args[3], prefix + (str(enode.op),), accumulator, visiting
+                )
+
+    # -- materialization ------------------------------------------------------------
+
+    def _materialize_all(
+        self, element_classes: Sequence[int], signature: Tuple[str, ...]
+    ) -> Optional[List[Term]]:
+        elements = []
+        for class_id in element_classes:
+            term = self._materialize(class_id, signature)
+            if term is None:
+                return None
+            elements.append(term)
+        return elements
+
+    def _materialize(self, class_id: int, signature: Tuple[str, ...]) -> Optional[Term]:
+        """Extract a concrete term from ``class_id`` whose affine chain starts
+        with exactly the operators of ``signature``."""
+        class_id = self.egraph.find(class_id)
+        if not signature:
+            try:
+                term = self._extractor.extract(class_id)
+            except Exception:
+                return None
+            # Reject terms that still start with an affine operator when an
+            # empty signature was requested only if no alternative exists —
+            # uniformity matters more than minimality, so accept what we got.
+            return term
+        head = signature[0]
+        for enode in self.egraph.nodes(class_id):
+            if enode.op != head or len(enode.args) != 4:
+                continue
+            vector_terms = []
+            ok = True
+            for arg in enode.args[:3]:
+                try:
+                    vector_terms.append(self._extractor.extract(arg))
+                except Exception:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            child = self._materialize(enode.args[3], signature[1:])
+            if child is None:
+                continue
+            return Term(head, tuple(vector_terms) + (child,))
+        return None
+
+
+def chain_uniform(elements: Sequence[Term]) -> bool:
+    """True when all elements share the same affine-operator signature."""
+    signatures = set()
+    for element in elements:
+        layers, _core = affine_chain(element)
+        signatures.add(tuple(op for op, _vector in layers))
+    return len(signatures) <= 1

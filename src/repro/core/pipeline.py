@@ -1,0 +1,195 @@
+"""The main Szalinski synthesis loop (paper Fig. 5).
+
+``synthesize`` takes a flat CSG term and returns the top-k equivalent
+LambdaCAD programs:
+
+1. build an e-graph from the input AST;
+2. until the fuel runs out (one outer iteration by default, as in the paper):
+   a. apply the syntactic rewrites to saturation (uninterpreted component),
+   b. determinize folded lists, reorder them, and run the arithmetic
+      components — closed-form function inference and nested-loop
+      inference — which merge ``Mapi``/``Fold``-based e-nodes back into the
+      e-graph;
+3. extract the top-k programs under the configured cost function.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.cad.ops import uses_loops
+from repro.core.config import SynthesisConfig
+from repro.core.cost import get_cost_function
+from repro.core.function_inference import FunctionInference, InferenceRecord
+from repro.core.loop_inference import LoopInference
+from repro.core.rules import default_rules
+from repro.csg.metrics import TermMetrics, measure
+from repro.egraph.egraph import EGraph
+from repro.egraph.extract import TopKExtractor
+from repro.egraph.runner import Runner, RunnerLimits, RunReport
+from repro.lang.term import Term
+
+
+@dataclass(frozen=True)
+class CandidateProgram:
+    """One extracted program with its rank (1-based) and cost."""
+
+    rank: int
+    cost: float
+    term: Term
+
+    @property
+    def has_loops(self) -> bool:
+        """True when the program exposes structure via Fold/Map/Mapi/Repeat."""
+        return uses_loops(self.term)
+
+
+@dataclass
+class SynthesisResult:
+    """Everything the pipeline produced for one input model."""
+
+    input_term: Term
+    candidates: List[CandidateProgram]
+    inference_records: List[InferenceRecord] = field(default_factory=list)
+    run_reports: List[RunReport] = field(default_factory=list)
+    seconds: float = 0.0
+    config: Optional[SynthesisConfig] = None
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def best(self) -> CandidateProgram:
+        """The lowest-cost candidate."""
+        return self.candidates[0]
+
+    def best_structured(self) -> Optional[CandidateProgram]:
+        """The highest-ranked candidate that exposes loops, if any."""
+        for candidate in self.candidates:
+            if candidate.has_loops:
+                return candidate
+        return None
+
+    def structured_rank(self) -> Optional[int]:
+        """Rank (1-based) of the first structured candidate (Table 1 column r)."""
+        structured = self.best_structured()
+        return None if structured is None else structured.rank
+
+    def output_term(self) -> Term:
+        """The program reported in Table 1: the structured one when it exists."""
+        structured = self.best_structured()
+        return (structured or self.best).term
+
+    # -- metrics -------------------------------------------------------------------
+
+    def input_metrics(self) -> TermMetrics:
+        return measure(self.input_term)
+
+    def output_metrics(self) -> TermMetrics:
+        return measure(self.output_term())
+
+    def size_reduction(self) -> float:
+        """Fractional node-count reduction of the output vs the input."""
+        return self.output_metrics().size_reduction_vs(self.input_metrics())
+
+    def exposes_structure(self) -> bool:
+        """True when any top-k candidate contains loops."""
+        return self.best_structured() is not None
+
+    def loop_summary(self) -> str:
+        """The Table 1 ``n-l`` column: loop nests of the reported output program."""
+        from repro.core.analysis import find_loops
+
+        loops = find_loops(self.output_term())
+        if not loops:
+            return "-"
+        best = max(loops, key=lambda loop: (loop.nesting, max(loop.bounds)))
+        return best.label()
+
+    def function_summary(self) -> str:
+        """The Table 1 ``f`` column: function classes used by the output program."""
+        from repro.core.analysis import function_kinds
+
+        kinds = function_kinds(self.output_term())
+        return ", ".join(kinds) or "-"
+
+
+def synthesize(
+    csg: Term,
+    config: Optional[SynthesisConfig] = None,
+    *,
+    rules: Optional[Sequence] = None,
+) -> SynthesisResult:
+    """Run Szalinski on a flat CSG term and return the top-k LambdaCAD programs.
+
+    ``rules`` overrides the rewrite-rule set (used by ablation benchmarks);
+    by default the rule categories named in the config are used.
+    """
+    config = config or SynthesisConfig()
+    start = time.perf_counter()
+
+    egraph = EGraph()
+    root = egraph.add_term(csg)
+
+    rule_set = list(rules) if rules is not None else default_rules(list(config.rule_categories))
+    limits = RunnerLimits(
+        max_iterations=config.rewrite_iterations,
+        max_enodes=config.max_enodes,
+        max_seconds=config.max_seconds,
+    )
+
+    inference_records: List[InferenceRecord] = []
+    run_reports: List[RunReport] = []
+
+    for _ in range(max(1, config.main_iterations)):
+        runner = Runner(rule_set, limits)
+        run_reports.append(runner.run(egraph))
+
+        changed = False
+        if config.enable_function_inference:
+            function_inference = FunctionInference(egraph, config)
+            if function_inference.run():
+                changed = True
+            inference_records.extend(function_inference.records)
+        if config.enable_loop_inference:
+            loop_inference = LoopInference(egraph, config)
+            if loop_inference.run():
+                changed = True
+            inference_records.extend(loop_inference.records)
+        egraph.rebuild()
+        if not changed:
+            break
+
+    cost_function = get_cost_function(config.cost_function)
+    extractor = TopKExtractor(egraph, cost_function, k=config.top_k, roots=[root])
+
+    # Combine two views of the root e-class: one candidate per distinct root
+    # e-node (this is what gives the returned set its diversity — the lifted
+    # flat variant, the folded/structured variant, and the original chain are
+    # different root e-nodes) plus the globally cheapest terms, de-duplicated
+    # and capped at top-k.
+    per_enode = extractor.best_per_enode(root)
+    global_top = extractor.extract_top_k(root)
+    combined = []
+    seen_terms = set()
+    for entry in per_enode + global_top:
+        if entry.term in seen_terms:
+            continue
+        seen_terms.add(entry.term)
+        combined.append(entry)
+    combined.sort(key=lambda entry: entry.cost)
+    combined = combined[: config.top_k]
+    candidates = [
+        CandidateProgram(rank=index + 1, cost=entry.cost, term=entry.term)
+        for index, entry in enumerate(combined)
+    ]
+
+    return SynthesisResult(
+        input_term=csg,
+        candidates=candidates,
+        inference_records=inference_records,
+        run_reports=run_reports,
+        seconds=time.perf_counter() - start,
+        config=config,
+    )

@@ -1,0 +1,76 @@
+"""The flat CSG input language ("Caddy", paper Fig. 6 right).
+
+Flat CSG programs consist of solid primitives, the three affine
+transformations (``Translate``, ``Scale``, ``Rotate`` — all taking a 3-vector
+and a child solid), and the binary boolean operators (``Union``, ``Diff``,
+``Inter``).  They contain no loops, functions, or variables: a flat CSG is a
+single unrolled trace of the structured design Szalinski recovers.
+
+This package provides term constructors, a parser and pretty-printer over the
+shared s-expression syntax, structural metrics (the columns of the paper's
+Table 1), and validation that a term really is flat CSG.
+"""
+
+from repro.csg.ops import (
+    AFFINE_OPS,
+    BOOLEAN_OPS,
+    CSG_PRIMITIVES,
+    affine_vector,
+    affine_child,
+    is_affine,
+    is_boolean,
+    is_csg_primitive,
+)
+from repro.csg.build import (
+    cube,
+    cylinder,
+    sphere,
+    hexagon,
+    empty,
+    translate,
+    scale,
+    rotate,
+    union,
+    diff,
+    inter,
+    union_all,
+)
+from repro.csg.parser import parse_csg, CsgSyntaxError
+from repro.csg.pretty import format_term, format_openscad_like
+from repro.csg.metrics import ast_size, ast_depth, primitive_count, TermMetrics, measure
+from repro.csg.validate import validate_flat_csg, is_flat_csg, CsgValidationError
+
+__all__ = [
+    "AFFINE_OPS",
+    "BOOLEAN_OPS",
+    "CSG_PRIMITIVES",
+    "affine_vector",
+    "affine_child",
+    "is_affine",
+    "is_boolean",
+    "is_csg_primitive",
+    "cube",
+    "cylinder",
+    "sphere",
+    "hexagon",
+    "empty",
+    "translate",
+    "scale",
+    "rotate",
+    "union",
+    "diff",
+    "inter",
+    "union_all",
+    "parse_csg",
+    "CsgSyntaxError",
+    "format_term",
+    "format_openscad_like",
+    "ast_size",
+    "ast_depth",
+    "primitive_count",
+    "TermMetrics",
+    "measure",
+    "validate_flat_csg",
+    "is_flat_csg",
+    "CsgValidationError",
+]

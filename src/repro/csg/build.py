@@ -1,0 +1,105 @@
+"""Ergonomic constructors for CSG terms.
+
+These mirror how the paper writes programs (``Translate (125, 0, 0, Tooth)``)
+and are used heavily by the benchmark-suite model generators, the examples,
+and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.lang.term import Term
+
+Number = Union[int, float]
+
+
+def _num(value: Number) -> Term:
+    return Term.num(value)
+
+
+# -- primitives ---------------------------------------------------------------
+
+def empty() -> Term:
+    """The empty solid."""
+    return Term("Empty")
+
+
+def cube() -> Term:
+    """The canonical unit cube (``Cube``)."""
+    return Term("Cube")
+
+
+def unit() -> Term:
+    """The canonical unit cube under its alternative name (``Unit``)."""
+    return Term("Unit")
+
+
+def cylinder() -> Term:
+    """The canonical unit cylinder."""
+    return Term("Cylinder")
+
+
+def sphere() -> Term:
+    """The canonical unit sphere."""
+    return Term("Sphere")
+
+
+def hexagon() -> Term:
+    """The canonical unit hexagonal prism."""
+    return Term("Hexagon")
+
+
+# -- affine transformations ---------------------------------------------------
+
+def translate(x: Number, y: Number, z: Number, child: Term) -> Term:
+    """``Translate (x, y, z, child)``."""
+    return Term("Translate", (_num(x), _num(y), _num(z), child))
+
+
+def scale(x: Number, y: Number, z: Number, child: Term) -> Term:
+    """``Scale (x, y, z, child)``."""
+    return Term("Scale", (_num(x), _num(y), _num(z), child))
+
+
+def rotate(x: Number, y: Number, z: Number, child: Term) -> Term:
+    """``Rotate (x, y, z, child)`` with angles in degrees."""
+    return Term("Rotate", (_num(x), _num(y), _num(z), child))
+
+
+# -- boolean operators --------------------------------------------------------
+
+def union(left: Term, right: Term) -> Term:
+    """``Union (left, right)``."""
+    return Term("Union", (left, right))
+
+
+def diff(left: Term, right: Term) -> Term:
+    """``Diff (left, right)`` — left minus right."""
+    return Term("Diff", (left, right))
+
+
+def inter(left: Term, right: Term) -> Term:
+    """``Inter (left, right)``."""
+    return Term("Inter", (left, right))
+
+
+def union_all(parts: Sequence[Term]) -> Term:
+    """Right-nested union of a sequence of solids.
+
+    This is exactly the shape flat CSG traces have (``Union (a, Union (b,
+    Union (c, d)))``) and the shape the Fold-introduction rewrites look for.
+    An empty sequence yields ``Empty``; a single element is returned as-is.
+    """
+    parts = list(parts)
+    if not parts:
+        return empty()
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = union(part, result)
+    return result
+
+
+def external(name: str = "External") -> Term:
+    """A placeholder node for features Szalinski does not interpret."""
+    return Term(name)

@@ -1,0 +1,83 @@
+"""Operator vocabulary of the CSG language and helpers to query terms.
+
+Keeping the operator sets in one place means the rewrite rules, the
+determinizer, the evaluators, and the validators all agree on what counts as
+an affine transformation, a boolean operator, or a primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.lang.term import Term
+
+#: Solid primitives (canonicalized: unit size, at the origin, axis-aligned).
+CSG_PRIMITIVES: Tuple[str, ...] = (
+    "Empty",
+    "Unit",
+    "Cube",
+    "Cylinder",
+    "Sphere",
+    "Hexagon",
+)
+
+#: Affine transformations: each takes three numeric arguments and a child.
+AFFINE_OPS: Tuple[str, ...] = ("Translate", "Scale", "Rotate")
+
+#: Binary boolean (set) operators.
+BOOLEAN_OPS: Tuple[str, ...] = ("Union", "Diff", "Inter")
+
+#: Placeholder for features Szalinski does not interpret (Hull, Mirror, ...).
+EXTERNAL_OP = "External"
+
+
+def is_csg_primitive(term: Term) -> bool:
+    """True for a leaf term naming a solid primitive."""
+    return term.is_leaf and term.op in CSG_PRIMITIVES
+
+
+def is_affine(term: Term) -> bool:
+    """True for ``Translate``/``Scale``/``Rotate`` applications."""
+    return term.op in AFFINE_OPS and len(term.children) == 4
+
+
+def is_boolean(term: Term) -> bool:
+    """True for ``Union``/``Diff``/``Inter`` applications."""
+    return term.op in BOOLEAN_OPS and len(term.children) == 2
+
+
+def affine_vector(term: Term) -> Tuple[float, float, float]:
+    """The (x, y, z) argument vector of an affine node, as floats."""
+    if not is_affine(term):
+        raise ValueError(f"not an affine term: {term.op!r}")
+    values = []
+    for child in term.children[:3]:
+        if not child.is_number:
+            raise ValueError(
+                f"affine argument of {term.op} is not a number: {child.op!r}"
+            )
+        values.append(float(child.value))
+    return (values[0], values[1], values[2])
+
+
+def affine_child(term: Term) -> Term:
+    """The solid being transformed by an affine node."""
+    if not is_affine(term):
+        raise ValueError(f"not an affine term: {term.op!r}")
+    return term.children[3]
+
+
+def affine_chain(term: Term):
+    """Decompose nested affine transformations.
+
+    Returns ``(layers, core)`` where ``layers`` is the outermost-first list of
+    ``(op, (x, y, z))`` pairs and ``core`` is the first non-affine descendant.
+    The function-inference component works layer by layer over exactly this
+    decomposition (paper Section 4.1, "Nested Affine Transformations").
+    """
+    layers = []
+    current = term
+    while is_affine(current):
+        layers.append((current.op, affine_vector(current)))
+        current = affine_child(current)
+    return layers, current

@@ -1,0 +1,45 @@
+"""Equality-saturation engine.
+
+The paper implements its own e-graph in OCaml (pre-dating the egg library
+that grew out of this line of work); this package is our Python equivalent.
+It provides:
+
+* :mod:`repro.egraph.unionfind` — a union-find over e-class ids;
+* :mod:`repro.egraph.egraph` — hash-consed e-nodes, e-classes, congruence
+  closure with deferred rebuilding, and term insertion/extraction helpers;
+* :mod:`repro.egraph.pattern` — pattern terms with ``?x`` variables and
+  e-matching;
+* :mod:`repro.egraph.rewrite` — rewrite rules (pattern → pattern, or pattern
+  → programmatic applier) in the style of Section 3.2;
+* :mod:`repro.egraph.runner` — the saturation loop with fuel / node limits;
+* :mod:`repro.egraph.extract` — cost-based extraction and top-k extraction
+  (Section 5.1).
+"""
+
+from repro.egraph.unionfind import UnionFind
+from repro.egraph.egraph import EGraph, ENode, EClass
+from repro.egraph.pattern import Pattern, PatternVar, parse_pattern, Substitution
+from repro.egraph.rewrite import Rewrite, rewrite, DynamicRewrite
+from repro.egraph.runner import Runner, RunnerLimits, RunReport, StopReason
+from repro.egraph.extract import Extractor, TopKExtractor, ast_size_cost
+
+__all__ = [
+    "UnionFind",
+    "EGraph",
+    "ENode",
+    "EClass",
+    "Pattern",
+    "PatternVar",
+    "parse_pattern",
+    "Substitution",
+    "Rewrite",
+    "rewrite",
+    "DynamicRewrite",
+    "Runner",
+    "RunnerLimits",
+    "RunReport",
+    "StopReason",
+    "Extractor",
+    "TopKExtractor",
+    "ast_size_cost",
+]

@@ -1,0 +1,289 @@
+"""The e-graph: hash-consed e-nodes, e-classes, and congruence closure.
+
+An e-graph compactly represents a set of equivalent terms (paper Section
+3.1).  It is a union-find over *e-class ids* plus, per e-class, a set of
+*e-nodes* — operators applied to argument e-class ids.  Adding a term
+hash-conses it; merging two e-classes records a new equivalence; rebuilding
+restores the two invariants that make e-matching sound:
+
+* **hashcons invariant** — every canonical e-node maps to exactly one
+  canonical e-class id;
+* **congruence invariant** — e-nodes that become identical after
+  canonicalizing their children live in the same e-class.
+
+Rebuilding is deferred (egg-style): merges enqueue dirty classes and a
+single :meth:`EGraph.rebuild` pass repairs the invariants before the next
+round of matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.egraph.unionfind import UnionFind
+from repro.lang.term import Term
+
+Operator = Union[str, int, float]
+
+
+@dataclass(frozen=True)
+class ENode:
+    """An operator applied to argument e-class ids."""
+
+    op: Operator
+    args: Tuple[int, ...] = ()
+
+    def canonicalize(self, find) -> "ENode":
+        """Return this e-node with every argument id canonicalized."""
+        if not self.args:
+            return self
+        return ENode(self.op, tuple(find(a) for a in self.args))
+
+    def map_args(self, fn) -> "ENode":
+        return ENode(self.op, tuple(fn(a) for a in self.args))
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.args
+
+
+@dataclass
+class EClass:
+    """A set of equivalent e-nodes plus back-pointers to parent e-nodes."""
+
+    id: int
+    nodes: List[ENode] = field(default_factory=list)
+    #: (parent e-node as inserted, parent e-class id) pairs used by rebuild.
+    parents: List[Tuple[ENode, int]] = field(default_factory=list)
+    #: Arbitrary per-class analysis data (used by the determinizer and cost
+    #: analyses in :mod:`repro.core`).
+    data: dict = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[ENode]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class EGraph:
+    """A congruence-closed e-graph over :class:`~repro.lang.term.Term` languages."""
+
+    def __init__(self) -> None:
+        self._union_find = UnionFind()
+        self._classes: Dict[int, EClass] = {}
+        self._hashcons: Dict[ENode, int] = {}
+        self._pending: List[int] = []
+        #: operator -> set of e-class ids containing an e-node with that
+        #: operator.  Used by e-matching to avoid scanning the whole graph;
+        #: entries may be stale (non-canonical or over-approximate) and are
+        #: re-canonicalized by readers.
+        self._op_index: Dict[Operator, set] = {}
+        self.version = 0  # bumped on every structural change; used by runners
+
+    # -- basic queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of (canonical) e-classes."""
+        return len(self._classes)
+
+    @property
+    def total_enodes(self) -> int:
+        """Total number of e-nodes across all e-classes."""
+        return sum(len(c.nodes) for c in self._classes.values())
+
+    def find(self, id_: int) -> int:
+        """Canonical e-class id for ``id_``."""
+        return self._union_find.find(id_)
+
+    def classes(self) -> Iterable[EClass]:
+        """Iterate over canonical e-classes."""
+        return self._classes.values()
+
+    def eclass(self, id_: int) -> EClass:
+        """The canonical :class:`EClass` containing ``id_``."""
+        return self._classes[self.find(id_)]
+
+    def nodes(self, id_: int) -> List[ENode]:
+        """The e-nodes of the e-class containing ``id_``."""
+        return self.eclass(id_).nodes
+
+    def is_equal(self, a: int, b: int) -> bool:
+        """True when the two ids refer to the same e-class."""
+        return self.find(a) == self.find(b)
+
+    def classes_with_op(self, op: Operator) -> List[int]:
+        """Canonical ids of e-classes containing an e-node with operator ``op``.
+
+        The index is maintained incrementally and may hold stale ids after
+        merges; they are canonicalized and de-duplicated here, which keeps
+        the common case (e-matching a specific operator) far cheaper than a
+        full scan.
+        """
+        ids = self._op_index.get(op)
+        if not ids:
+            return []
+        canonical = {self.find(i) for i in ids}
+        return [i for i in canonical if i in self._classes]
+
+    # -- insertion ----------------------------------------------------------------
+
+    def add_enode(self, enode: ENode) -> int:
+        """Insert an e-node (hash-consed) and return its e-class id."""
+        enode = enode.canonicalize(self._union_find.find)
+        existing = self._hashcons.get(enode)
+        if existing is not None:
+            return self.find(existing)
+        class_id = self._union_find.make_set()
+        eclass = EClass(id=class_id, nodes=[enode])
+        self._classes[class_id] = eclass
+        self._hashcons[enode] = class_id
+        self._op_index.setdefault(enode.op, set()).add(class_id)
+        for arg in enode.args:
+            self._classes[self.find(arg)].parents.append((enode, class_id))
+        self.version += 1
+        return class_id
+
+    def add_term(self, term: Term) -> int:
+        """Insert a whole term bottom-up and return the root e-class id."""
+        args = tuple(self.add_term(child) for child in term.children)
+        return self.add_enode(ENode(term.op, args))
+
+    def add_leaf(self, op: Operator) -> int:
+        """Insert a leaf e-node."""
+        return self.add_enode(ENode(op))
+
+    def lookup_term(self, term: Term) -> Optional[int]:
+        """The e-class id of ``term`` if the e-graph already represents it."""
+        args: List[int] = []
+        for child in term.children:
+            child_id = self.lookup_term(child)
+            if child_id is None:
+                return None
+            args.append(child_id)
+        enode = ENode(term.op, tuple(args)).canonicalize(self._union_find.find)
+        found = self._hashcons.get(enode)
+        return None if found is None else self.find(found)
+
+    # -- merging and rebuilding -----------------------------------------------------
+
+    def merge(self, a: int, b: int) -> int:
+        """Assert that e-classes ``a`` and ``b`` are equal.
+
+        Returns the surviving canonical id.  The actual invariant repair is
+        deferred until :meth:`rebuild`.
+        """
+        a_root = self.find(a)
+        b_root = self.find(b)
+        if a_root == b_root:
+            return a_root
+        # Keep the class with more parents as canonical to move less data.
+        if len(self._classes[a_root].parents) < len(self._classes[b_root].parents):
+            a_root, b_root = b_root, a_root
+        keep = self._union_find.union(a_root, b_root)
+        merged_away = b_root if keep == a_root else a_root
+        keep_class = self._classes[keep]
+        gone_class = self._classes.pop(merged_away)
+        keep_class.nodes.extend(gone_class.nodes)
+        keep_class.parents.extend(gone_class.parents)
+        # Merge analysis data shallowly; later writers win.
+        for key, value in gone_class.data.items():
+            keep_class.data.setdefault(key, value)
+        self._pending.append(keep)
+        self.version += 1
+        return keep
+
+    def rebuild(self) -> int:
+        """Restore the hashcons and congruence invariants.
+
+        Returns the number of repair passes performed.  Safe to call when
+        nothing is pending.
+        """
+        passes = 0
+        while self._pending:
+            passes += 1
+            todo = {self.find(id_) for id_ in self._pending}
+            self._pending.clear()
+            for class_id in todo:
+                self._repair(class_id)
+        self._rebuild_hashcons()
+        return passes
+
+    def _repair(self, class_id: int) -> None:
+        """Re-canonicalize the parents of a recently merged class and detect
+        newly congruent parents."""
+        class_id = self.find(class_id)
+        eclass = self._classes.get(class_id)
+        if eclass is None:
+            return
+        seen: Dict[ENode, int] = {}
+        new_parents: List[Tuple[ENode, int]] = []
+        for parent_node, parent_id in eclass.parents:
+            canonical_node = parent_node.canonicalize(self._union_find.find)
+            parent_id = self.find(parent_id)
+            previous = seen.get(canonical_node)
+            if previous is not None and previous != parent_id:
+                # Two parents became congruent: merge their classes.
+                merged = self.merge(previous, parent_id)
+                seen[canonical_node] = self.find(merged)
+            else:
+                seen[canonical_node] = parent_id
+            self._hashcons[canonical_node] = self.find(seen[canonical_node])
+            new_parents.append((canonical_node, self.find(seen[canonical_node])))
+        # The class may have been merged away while repairing.
+        surviving = self._classes.get(self.find(class_id))
+        if surviving is not None:
+            surviving.parents = new_parents
+
+    def _rebuild_hashcons(self) -> None:
+        """Fully re-canonicalize e-nodes, the hashcons, and class node lists."""
+        new_hashcons: Dict[ENode, int] = {}
+        new_op_index: Dict[Operator, set] = {}
+        for class_id in list(self._classes.keys()):
+            canonical_id = self.find(class_id)
+            if canonical_id != class_id:
+                continue
+            eclass = self._classes[class_id]
+            unique_nodes: Dict[ENode, None] = {}
+            for node in eclass.nodes:
+                canonical_node = node.canonicalize(self._union_find.find)
+                unique_nodes[canonical_node] = None
+                existing = new_hashcons.get(canonical_node)
+                if existing is not None and self.find(existing) != canonical_id:
+                    # Congruent nodes in distinct classes: merge and note that
+                    # another pass is required.
+                    self._pending.append(self.merge(existing, canonical_id))
+                new_hashcons[canonical_node] = self.find(canonical_id)
+                new_op_index.setdefault(canonical_node.op, set()).add(canonical_id)
+            eclass.nodes = list(unique_nodes.keys())
+        self._hashcons = new_hashcons
+        self._op_index = new_op_index
+        if self._pending:
+            # A congruence found during hashcons rebuilding requires another
+            # repair round; recursion depth is bounded by the lattice of
+            # merges.
+            self.rebuild()
+
+    # -- conversions -------------------------------------------------------------
+
+    def extract_any(self, class_id: int) -> Term:
+        """Extract *some* term from an e-class (smallest by node count)."""
+        from repro.egraph.extract import Extractor, ast_size_cost
+
+        return Extractor(self, ast_size_cost).extract(class_id)
+
+    def enode_to_term(self, enode: ENode, chooser) -> Term:
+        """Build a term from an e-node using ``chooser(class_id) -> Term``."""
+        return Term(enode.op, tuple(chooser(arg) for arg in enode.args))
+
+    def dump(self) -> str:
+        """A compact human-readable dump used in debugging and tests."""
+        lines = []
+        for eclass in sorted(self._classes.values(), key=lambda c: c.id):
+            rendered = ", ".join(
+                f"({node.op} {' '.join(str(a) for a in node.args)})" if node.args else str(node.op)
+                for node in eclass.nodes
+            )
+            lines.append(f"e{eclass.id}: {rendered}")
+        return "\n".join(lines)

@@ -1,0 +1,249 @@
+"""Extraction of (top-k) best terms from an e-graph.
+
+After saturation, every e-class represents many equivalent programs; a cost
+function picks which ones to return.  The paper's default cost is the number
+of AST nodes; the alternative ``reward-loops`` cost discounts ``Mapi`` nodes
+(Section 6.1, "Cost function robustness").  Because there is no single right
+parameterization, Szalinski returns the top-k programs (Section 5.1) so the
+user can choose.
+
+Single-best extraction is the standard fixpoint dynamic program over
+e-classes.  Top-k extraction generalizes it: each e-class keeps a bounded
+list of its k cheapest *distinct* terms, and candidates for an e-node are
+formed by combining the children's lists (bounded cube-style so the work
+stays proportional to k).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.lang.term import Term
+
+#: A cost function maps (operator, children costs) to a cost.
+CostFunction = Callable[[object, Sequence[float]], float]
+
+
+def ast_size_cost(op: object, child_costs: Sequence[float]) -> float:
+    """The paper's default cost: one per AST node."""
+    return 1.0 + sum(child_costs)
+
+
+class ExtractionError(RuntimeError):
+    """Raised when no finite-cost term exists for the requested e-class."""
+
+
+class Extractor:
+    """Single-best extraction by fixpoint over e-classes."""
+
+    def __init__(self, egraph: EGraph, cost_function: CostFunction = ast_size_cost):
+        self.egraph = egraph
+        self.cost_function = cost_function
+        self._best: Dict[int, Tuple[float, ENode]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        """Iterate to a fixpoint assigning each class its cheapest e-node."""
+        changed = True
+        while changed:
+            changed = False
+            for eclass in self.egraph.classes():
+                class_id = self.egraph.find(eclass.id)
+                for enode in eclass.nodes:
+                    cost = self._enode_cost(enode)
+                    if cost is None:
+                        continue
+                    current = self._best.get(class_id)
+                    if current is None or cost < current[0]:
+                        self._best[class_id] = (cost, enode)
+                        changed = True
+
+    def _enode_cost(self, enode: ENode) -> Optional[float]:
+        child_costs = []
+        for arg in enode.args:
+            entry = self._best.get(self.egraph.find(arg))
+            if entry is None:
+                return None
+            child_costs.append(entry[0])
+        return self.cost_function(enode.op, child_costs)
+
+    def cost_of(self, class_id: int) -> float:
+        """The cost of the best term for ``class_id``."""
+        entry = self._best.get(self.egraph.find(class_id))
+        if entry is None:
+            raise ExtractionError(f"no extractable term for e-class {class_id}")
+        return entry[0]
+
+    def extract(self, class_id: int) -> Term:
+        """The cheapest term represented by ``class_id``."""
+        class_id = self.egraph.find(class_id)
+        entry = self._best.get(class_id)
+        if entry is None:
+            raise ExtractionError(f"no extractable term for e-class {class_id}")
+        _, enode = entry
+        return Term(enode.op, tuple(self.extract(arg) for arg in enode.args))
+
+
+@dataclass(frozen=True)
+class RankedTerm:
+    """A term together with its cost (and its rank after sorting)."""
+
+    cost: float
+    term: Term
+
+
+class TopKExtractor:
+    """Extraction of the k cheapest distinct terms per e-class."""
+
+    def __init__(
+        self,
+        egraph: EGraph,
+        cost_function: CostFunction = ast_size_cost,
+        k: int = 5,
+        max_rounds: int = 1000,
+        roots: Optional[Sequence[int]] = None,
+    ):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.egraph = egraph
+        self.cost_function = cost_function
+        self.k = k
+        self.max_rounds = max_rounds
+        self._table: Dict[int, List[RankedTerm]] = {}
+        self._restrict = self._reachable(roots) if roots is not None else None
+        self._compute()
+
+    def _reachable(self, roots: Sequence[int]) -> set:
+        """E-classes reachable from the roots (the only ones worth ranking)."""
+        seen = set()
+        stack = [self.egraph.find(r) for r in roots]
+        while stack:
+            class_id = stack.pop()
+            if class_id in seen:
+                continue
+            seen.add(class_id)
+            for enode in self.egraph.nodes(class_id):
+                for arg in enode.args:
+                    arg = self.egraph.find(arg)
+                    if arg not in seen:
+                        stack.append(arg)
+        return seen
+
+    # -- fixpoint ---------------------------------------------------------------
+
+    def _compute(self) -> None:
+        for _ in range(self.max_rounds):
+            changed = False
+            for eclass in self.egraph.classes():
+                class_id = self.egraph.find(eclass.id)
+                if self._restrict is not None and class_id not in self._restrict:
+                    continue
+                candidates: Dict[Term, float] = {
+                    entry.term: entry.cost for entry in self._table.get(class_id, [])
+                }
+                for enode in eclass.nodes:
+                    for cost, term in self._enode_candidates(enode):
+                        previous = candidates.get(term)
+                        if previous is None or cost < previous:
+                            candidates[term] = cost
+                # Ties are broken by insertion order (deterministic for a
+                # given run); rendering terms for tie-breaking would dominate
+                # extraction time on large models.
+                ranked = sorted(
+                    (RankedTerm(cost, term) for term, cost in candidates.items()),
+                    key=lambda r: r.cost,
+                )[: self.k]
+                if ranked != self._table.get(class_id, []):
+                    self._table[class_id] = ranked
+                    changed = True
+            if not changed:
+                break
+
+    def _enode_candidates(self, enode: ENode) -> List[Tuple[float, Term]]:
+        """Candidate terms for one e-node from its children's current top-k."""
+        if not enode.args:
+            return [(self.cost_function(enode.op, ()), Term(enode.op))]
+        child_lists = []
+        for arg in enode.args:
+            entries = self._table.get(self.egraph.find(arg))
+            if not entries:
+                return []
+            child_lists.append(entries)
+        # Bounded combination: explore child choices whose index sum is small,
+        # which covers the k cheapest combinations without a full product.
+        candidates: List[Tuple[float, Term]] = []
+        index_choices = self._bounded_index_tuples([len(c) for c in child_lists])
+        for indices in index_choices:
+            chosen = [child_lists[i][j] for i, j in enumerate(indices)]
+            cost = self.cost_function(enode.op, [c.cost for c in chosen])
+            term = Term(enode.op, tuple(c.term for c in chosen))
+            candidates.append((cost, term))
+        return candidates
+
+    def _bounded_index_tuples(self, lengths: List[int]) -> List[Tuple[int, ...]]:
+        """Index tuples with a bounded index sum (cube-pruning style)."""
+        budget = self.k - 1
+        results: List[Tuple[int, ...]] = []
+
+        def go(position: int, remaining: int, prefix: Tuple[int, ...]) -> None:
+            if position == len(lengths):
+                results.append(prefix)
+                return
+            limit = min(lengths[position] - 1, remaining)
+            for index in range(limit + 1):
+                go(position + 1, remaining - index, prefix + (index,))
+
+        go(0, budget, ())
+        return results
+
+    # -- queries -----------------------------------------------------------------
+
+    def extract_top_k(self, class_id: int) -> List[RankedTerm]:
+        """The k cheapest distinct terms of ``class_id``, best first."""
+        entries = self._table.get(self.egraph.find(class_id))
+        if not entries:
+            raise ExtractionError(f"no extractable term for e-class {class_id}")
+        return list(entries)
+
+    def best(self, class_id: int) -> RankedTerm:
+        """The single cheapest entry for ``class_id``."""
+        return self.extract_top_k(class_id)[0]
+
+    def best_per_enode(self, class_id: int) -> List[RankedTerm]:
+        """The cheapest term rooted at each distinct e-node of ``class_id``.
+
+        Whereas :meth:`extract_top_k` returns the k globally cheapest terms
+        (which for CAD models are often near-identical affine reorderings of
+        one another), this query returns one representative per alternative
+        the e-class actually offers at its root — e.g. the original boolean
+        chain, the affine-lifted variant, and the ``Fold``-based structured
+        variant each contribute their own candidate.  The pipeline combines
+        both views to build a useful top-k (see ``repro.core.pipeline``).
+        """
+        class_id = self.egraph.find(class_id)
+        results: List[RankedTerm] = []
+        seen = set()
+        for enode in self.egraph.nodes(class_id):
+            child_entries = []
+            missing = False
+            for arg in enode.args:
+                entries = self._table.get(self.egraph.find(arg))
+                if not entries:
+                    missing = True
+                    break
+                child_entries.append(entries[0])
+            if missing:
+                continue
+            cost = self.cost_function(enode.op, [c.cost for c in child_entries])
+            term = Term(enode.op, tuple(c.term for c in child_entries))
+            if term in seen:
+                continue
+            seen.add(term)
+            results.append(RankedTerm(cost, term))
+        results.sort(key=lambda entry: entry.cost)
+        return results

@@ -1,0 +1,189 @@
+"""Patterns and e-matching.
+
+Rewrite rules are written as pattern pairs; a pattern is a term whose leaves
+may be *pattern variables*, written ``?x`` in the s-expression syntax.
+E-matching finds, for every e-class, all substitutions under which the
+pattern is represented in that class (paper Section 3.1: "whenever an eclass
+c1 represents an expression matching pattern a under substitution phi ...").
+
+The matcher is the standard top-down backtracking e-matcher: match the root
+e-node's operator, then recursively match argument patterns against argument
+e-classes, threading a substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.lang.sexp import parse_sexp
+from repro.lang.term import Term
+
+#: A substitution maps pattern-variable names (without the ``?``) to e-class ids.
+Substitution = Dict[str, int]
+
+
+@dataclass(frozen=True)
+class PatternVar:
+    """A pattern variable, e.g. ``?x``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A pattern node: either a variable or an operator applied to sub-patterns."""
+
+    op: Union[str, int, float, PatternVar]
+    children: Tuple["Pattern", ...] = ()
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def var(name: str) -> "Pattern":
+        return Pattern(PatternVar(name))
+
+    @staticmethod
+    def from_term(term: Term) -> "Pattern":
+        """Convert a concrete term into a (variable-free) pattern."""
+        return Pattern(term.op, tuple(Pattern.from_term(c) for c in term.children))
+
+    @staticmethod
+    def from_sexp(sexp) -> "Pattern":
+        if isinstance(sexp, list):
+            if not sexp:
+                raise ValueError("empty pattern")
+            head = sexp[0]
+            if isinstance(head, str) and head.startswith("?"):
+                raise ValueError("pattern variables cannot take arguments")
+            return Pattern(head, tuple(Pattern.from_sexp(c) for c in sexp[1:]))
+        if isinstance(sexp, str) and sexp.startswith("?"):
+            return Pattern(PatternVar(sexp[1:]))
+        return Pattern(sexp)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def is_var(self) -> bool:
+        return isinstance(self.op, PatternVar)
+
+    def variables(self) -> List[str]:
+        """All variable names, in first-occurrence order."""
+        names: List[str] = []
+
+        def walk(pattern: "Pattern") -> None:
+            if isinstance(pattern.op, PatternVar):
+                if pattern.op.name not in names:
+                    names.append(pattern.op.name)
+            for child in pattern.children:
+                walk(child)
+
+        walk(self)
+        return names
+
+    def to_term(self, bindings: Dict[str, Term]) -> Term:
+        """Instantiate the pattern into a concrete term using ``bindings``."""
+        if isinstance(self.op, PatternVar):
+            try:
+                return bindings[self.op.name]
+            except KeyError as exc:
+                raise KeyError(f"unbound pattern variable ?{self.op.name}") from exc
+        return Term(self.op, tuple(c.to_term(bindings) for c in self.children))
+
+    def __str__(self) -> str:
+        if not self.children:
+            return str(self.op)
+        args = " ".join(str(c) for c in self.children)
+        return f"({self.op} {args})"
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse a pattern from s-expression text, e.g. ``(Union ?a ?b)``."""
+    return Pattern.from_sexp(parse_sexp(text))
+
+
+# ---------------------------------------------------------------------------
+# E-matching
+# ---------------------------------------------------------------------------
+
+def match_in_class(
+    egraph: EGraph, pattern: Pattern, class_id: int, substitution: Optional[Substitution] = None
+) -> Iterator[Substitution]:
+    """Yield all substitutions under which ``pattern`` matches e-class ``class_id``."""
+    substitution = substitution or {}
+    class_id = egraph.find(class_id)
+
+    if isinstance(pattern.op, PatternVar):
+        name = pattern.op.name
+        bound = substitution.get(name)
+        if bound is None:
+            extended = dict(substitution)
+            extended[name] = class_id
+            yield extended
+        elif egraph.find(bound) == class_id:
+            yield dict(substitution)
+        return
+
+    for enode in list(egraph.nodes(class_id)):
+        if enode.op != pattern.op or len(enode.args) != len(pattern.children):
+            continue
+        yield from _match_args(egraph, pattern.children, enode.args, substitution)
+
+
+def _match_args(
+    egraph: EGraph,
+    patterns: Sequence[Pattern],
+    arg_ids: Sequence[int],
+    substitution: Substitution,
+) -> Iterator[Substitution]:
+    if not patterns:
+        yield dict(substitution)
+        return
+    head_pattern, *rest_patterns = patterns
+    head_id, *rest_ids = arg_ids
+    for partial in match_in_class(egraph, head_pattern, head_id, substitution):
+        yield from _match_args(egraph, rest_patterns, rest_ids, partial)
+
+
+def search(egraph: EGraph, pattern: Pattern) -> List[Tuple[int, Substitution]]:
+    """Match ``pattern`` against every e-class.
+
+    Returns a list of (e-class id, substitution) pairs — the paper's
+    ``match_eg`` (Fig. 12) used both by the rewrite engine and by the list
+    manipulation component.  When the pattern root is a concrete operator,
+    only e-classes containing that operator are scanned (via the e-graph's
+    operator index), which is what keeps matching fast on large models.
+    """
+    results: List[Tuple[int, Substitution]] = []
+    if isinstance(pattern.op, PatternVar):
+        candidate_ids = [egraph.find(eclass.id) for eclass in egraph.classes()]
+    else:
+        candidate_ids = egraph.classes_with_op(pattern.op)
+    seen = set()
+    for class_id in candidate_ids:
+        class_id = egraph.find(class_id)
+        if class_id in seen:
+            continue
+        seen.add(class_id)
+        for substitution in match_in_class(egraph, pattern, class_id):
+            results.append((class_id, substitution))
+    return results
+
+
+def instantiate(egraph: EGraph, pattern: Pattern, substitution: Substitution) -> int:
+    """Add the instantiation of ``pattern`` under ``substitution`` to the e-graph.
+
+    Pattern variables are looked up in the substitution (their e-class ids are
+    reused directly); concrete pattern nodes become fresh e-nodes.
+    """
+    if isinstance(pattern.op, PatternVar):
+        try:
+            return egraph.find(substitution[pattern.op.name])
+        except KeyError as exc:
+            raise KeyError(f"unbound pattern variable ?{pattern.op.name}") from exc
+    args = tuple(instantiate(egraph, child, substitution) for child in pattern.children)
+    return egraph.add_enode(ENode(pattern.op, args))

@@ -1,0 +1,156 @@
+"""Rewrite rules over e-graphs.
+
+A rewrite ``lhs { rhs`` searches the e-graph for matches of ``lhs`` and, for
+every match, adds the instantiation of ``rhs`` and merges it into the matched
+e-class (paper Section 3.1).  Because the e-graph is non-destructive, both the
+old and the new expressions remain available, which is what mitigates phase
+ordering.
+
+Two flavours are provided:
+
+* :class:`Rewrite` — purely syntactic ``Pattern -> Pattern`` rules, optionally
+  guarded by a predicate over the substitution (used, e.g., to require that
+  two matched vectors are numerically equal within epsilon, or that a scale
+  factor is non-zero before dividing);
+* :class:`DynamicRewrite` — pattern on the left, arbitrary *applier* function
+  on the right.  The applier receives the e-graph, the matched class, and the
+  substitution and returns the id of a class to merge with (or ``None``).
+  The affine reordering/collapsing rules that must *compute* new vectors
+  (Fig. 8b/8c) are dynamic rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.pattern import Pattern, Substitution, instantiate, parse_pattern, search
+
+#: A guard receives (egraph, eclass id, substitution) and says whether to fire.
+Guard = Callable[[EGraph, int, Substitution], bool]
+
+#: An applier receives (egraph, eclass id, substitution) and returns the id of
+#: the newly constructed equivalent class, or None to skip.
+Applier = Callable[[EGraph, int, Substitution], Optional[int]]
+
+
+@dataclass
+class RewriteMatch:
+    """One firing opportunity discovered during the search phase."""
+
+    class_id: int
+    substitution: Substitution
+
+
+class BaseRewrite:
+    """Shared search/apply machinery for syntactic and dynamic rewrites."""
+
+    name: str
+
+    def search(self, egraph: EGraph) -> List[RewriteMatch]:
+        raise NotImplementedError
+
+    def apply_match(self, egraph: EGraph, match: RewriteMatch) -> bool:
+        """Apply to one match; returns True when the e-graph changed."""
+        raise NotImplementedError
+
+    def run(self, egraph: EGraph) -> int:
+        """Search then apply everywhere; returns the number of effective firings."""
+        matches = self.search(egraph)
+        fired = 0
+        for match in matches:
+            if self.apply_match(egraph, match):
+                fired += 1
+        return fired
+
+
+@dataclass
+class Rewrite(BaseRewrite):
+    """A guarded syntactic rewrite ``lhs { rhs``."""
+
+    name: str
+    lhs: Pattern
+    rhs: Pattern
+    guard: Optional[Guard] = None
+    #: Bidirectional rules also add lhs when rhs matches; the boolean-operator
+    #: associativity rules are bidirectional in spirit but we keep them
+    #: one-directional by default to bound growth.
+    bidirectional: bool = False
+
+    def search(self, egraph: EGraph) -> List[RewriteMatch]:
+        matches = [RewriteMatch(cid, sub) for cid, sub in search(egraph, self.lhs)]
+        if self.bidirectional:
+            matches.extend(
+                RewriteMatch(cid, sub) for cid, sub in search(egraph, self.rhs)
+            )
+        return matches
+
+    def apply_match(self, egraph: EGraph, match: RewriteMatch) -> bool:
+        if self.guard is not None and not self.guard(egraph, match.class_id, match.substitution):
+            return False
+        before = egraph.version
+        new_id = instantiate(egraph, self.rhs, match.substitution)
+        egraph.merge(match.class_id, new_id)
+        return egraph.version != before
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.lhs} => {self.rhs}"
+
+
+@dataclass
+class DynamicRewrite(BaseRewrite):
+    """A rewrite whose right-hand side is computed by an applier function."""
+
+    name: str
+    lhs: Pattern
+    applier: Applier
+    guard: Optional[Guard] = None
+
+    def search(self, egraph: EGraph) -> List[RewriteMatch]:
+        return [RewriteMatch(cid, sub) for cid, sub in search(egraph, self.lhs)]
+
+    def apply_match(self, egraph: EGraph, match: RewriteMatch) -> bool:
+        if self.guard is not None and not self.guard(egraph, match.class_id, match.substitution):
+            return False
+        before = egraph.version
+        new_id = self.applier(egraph, match.class_id, match.substitution)
+        if new_id is None:
+            return False
+        egraph.merge(match.class_id, new_id)
+        return egraph.version != before
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.lhs} => <dynamic>"
+
+
+def rewrite(
+    name: str,
+    lhs: str,
+    rhs: str,
+    *,
+    guard: Optional[Guard] = None,
+    bidirectional: bool = False,
+) -> Rewrite:
+    """Construct a syntactic rewrite from s-expression pattern text.
+
+    Example::
+
+        rewrite("lift-translate-union",
+                "(Union (Translate ?x ?y ?z ?a) (Translate ?x ?y ?z ?b))",
+                "(Translate ?x ?y ?z (Union ?a ?b))")
+    """
+    return Rewrite(
+        name=name,
+        lhs=parse_pattern(lhs),
+        rhs=parse_pattern(rhs),
+        guard=guard,
+        bidirectional=bidirectional,
+    )
+
+
+def dynamic_rewrite(
+    name: str, lhs: str, applier: Applier, *, guard: Optional[Guard] = None
+) -> DynamicRewrite:
+    """Construct a dynamic rewrite from s-expression pattern text and an applier."""
+    return DynamicRewrite(name=name, lhs=parse_pattern(lhs), applier=applier, guard=guard)

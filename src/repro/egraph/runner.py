@@ -1,0 +1,117 @@
+"""The equality-saturation loop.
+
+Repeatedly apply a rule set to an e-graph until saturation (no rule changes
+the graph), or until a fuel / node / time limit is hit.  The paper's main
+loop (Fig. 5) wraps one of these rewrite phases together with the arithmetic
+components; see :mod:`repro.core.pipeline` for that composition.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import BaseRewrite
+
+
+class StopReason(Enum):
+    """Why a saturation run stopped."""
+
+    SATURATED = "saturated"
+    ITERATION_LIMIT = "iteration-limit"
+    NODE_LIMIT = "node-limit"
+    TIME_LIMIT = "time-limit"
+
+
+@dataclass(frozen=True)
+class RunnerLimits:
+    """Resource limits for a saturation run (the paper's ``fuel``)."""
+
+    max_iterations: int = 30
+    max_enodes: int = 200_000
+    max_seconds: float = 60.0
+
+
+@dataclass
+class IterationReport:
+    """Statistics for a single rewrite iteration."""
+
+    index: int
+    firings: Dict[str, int] = field(default_factory=dict)
+    enodes_after: int = 0
+    classes_after: int = 0
+    seconds: float = 0.0
+
+    @property
+    def total_firings(self) -> int:
+        return sum(self.firings.values())
+
+
+@dataclass
+class RunReport:
+    """Statistics for a whole saturation run."""
+
+    stop_reason: StopReason
+    iterations: List[IterationReport] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def iteration_count(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_firings(self) -> int:
+        return sum(it.total_firings for it in self.iterations)
+
+
+class Runner:
+    """Applies a fixed rule set to an e-graph until saturation or limits."""
+
+    def __init__(self, rules: Sequence[BaseRewrite], limits: Optional[RunnerLimits] = None):
+        self.rules = list(rules)
+        self.limits = limits or RunnerLimits()
+
+    def run(self, egraph: EGraph) -> RunReport:
+        """Run equality saturation; the e-graph is mutated in place."""
+        start = time.perf_counter()
+        report = RunReport(stop_reason=StopReason.SATURATED)
+
+        for iteration in range(self.limits.max_iterations):
+            iteration_start = time.perf_counter()
+            version_before = egraph.version
+            firings: Dict[str, int] = {}
+
+            for rule in self.rules:
+                fired = rule.run(egraph)
+                if fired:
+                    firings[rule.name] = firings.get(rule.name, 0) + fired
+            egraph.rebuild()
+
+            elapsed = time.perf_counter() - start
+            report.iterations.append(
+                IterationReport(
+                    index=iteration,
+                    firings=firings,
+                    enodes_after=egraph.total_enodes,
+                    classes_after=len(egraph),
+                    seconds=time.perf_counter() - iteration_start,
+                )
+            )
+
+            if egraph.version == version_before:
+                report.stop_reason = StopReason.SATURATED
+                break
+            if egraph.total_enodes > self.limits.max_enodes:
+                report.stop_reason = StopReason.NODE_LIMIT
+                break
+            if elapsed > self.limits.max_seconds:
+                report.stop_reason = StopReason.TIME_LIMIT
+                break
+        else:
+            report.stop_reason = StopReason.ITERATION_LIMIT
+
+        report.seconds = time.perf_counter() - start
+        return report

@@ -1,0 +1,55 @@
+"""Union-find (disjoint set) over dense integer ids.
+
+E-class ids are allocated densely by the e-graph, so the union-find is an
+array-backed structure with path compression.  Union is *not*
+union-by-rank: the e-graph needs to control which id survives a merge (the
+canonical id keeps the merged class's data), so :meth:`union` always makes
+the second argument point at the first.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class UnionFind:
+    """Array-backed union-find with path compression."""
+
+    def __init__(self) -> None:
+        self._parents: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def make_set(self) -> int:
+        """Create a fresh singleton set and return its id."""
+        new_id = len(self._parents)
+        self._parents.append(new_id)
+        return new_id
+
+    def find(self, id_: int) -> int:
+        """Return the canonical representative of ``id_`` (with compression)."""
+        root = id_
+        while self._parents[root] != root:
+            root = self._parents[root]
+        # Path compression.
+        while self._parents[id_] != root:
+            self._parents[id_], id_ = root, self._parents[id_]
+        return root
+
+    def union(self, keep: int, merge: int) -> int:
+        """Merge the set of ``merge`` into the set of ``keep``.
+
+        Both arguments may be non-canonical; the canonical representative of
+        ``keep`` becomes the representative of the merged set and is
+        returned.
+        """
+        keep_root = self.find(keep)
+        merge_root = self.find(merge)
+        if keep_root != merge_root:
+            self._parents[merge_root] = keep_root
+        return keep_root
+
+    def in_same_set(self, a: int, b: int) -> bool:
+        """True when the two ids are currently equivalent."""
+        return self.find(a) == self.find(b)

@@ -1,0 +1,36 @@
+"""Geometry kernel used for validation and for simulating mesh inputs.
+
+The paper's verification step (Section 7) renders both the input flat CSG and
+the unrolled synthesized program and compares them; it also suggests a more
+rigorous Hausdorff-distance comparison.  This package provides everything
+needed for that: 3D vectors and affine matrices, primitive tessellation to
+triangle meshes, ASCII and binary STL I/O, point-membership classification of
+CSG solids, point sampling, and a sampled (directed and symmetric) Hausdorff
+distance.
+"""
+
+from repro.geometry.vec import Vec3
+from repro.geometry.mat import AffineMatrix
+from repro.geometry.mesh import Triangle, Mesh
+from repro.geometry.stl import write_stl_ascii, write_stl_binary, read_stl
+from repro.geometry.tessellate import tessellate_csg
+from repro.geometry.membership import csg_contains, CsgSolid
+from repro.geometry.sampling import sample_csg_surface, sample_grid
+from repro.geometry.hausdorff import hausdorff_distance, directed_hausdorff
+
+__all__ = [
+    "Vec3",
+    "AffineMatrix",
+    "Triangle",
+    "Mesh",
+    "write_stl_ascii",
+    "write_stl_binary",
+    "read_stl",
+    "tessellate_csg",
+    "csg_contains",
+    "CsgSolid",
+    "sample_csg_surface",
+    "sample_grid",
+    "hausdorff_distance",
+    "directed_hausdorff",
+]

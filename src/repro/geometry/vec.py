@@ -1,0 +1,110 @@
+"""3D vectors.
+
+CSG affine transformations are specified as 3-vectors (the ``(x, y, z)``
+arguments of ``Translate``, ``Scale``, ``Rotate``), so a tiny dedicated
+vector type keeps the rest of the code readable without dragging numpy
+arrays through term manipulation code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Vec3:
+    """An immutable 3D vector with float components."""
+
+    x: float
+    y: float
+    z: float
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "Vec3":
+        return Vec3(0.0, 0.0, 0.0)
+
+    @staticmethod
+    def ones() -> "Vec3":
+        return Vec3(1.0, 1.0, 1.0)
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "Vec3":
+        """Build a vector from any length-3 sequence."""
+        if len(values) != 3:
+            raise ValueError(f"expected 3 components, got {len(values)}")
+        return Vec3(float(values[0]), float(values[1]), float(values[2]))
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __neg__(self) -> "Vec3":
+        return Vec3(-self.x, -self.y, -self.z)
+
+    def __mul__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x * scalar, self.y * scalar, self.z * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x / scalar, self.y / scalar, self.z / scalar)
+
+    def hadamard(self, other: "Vec3") -> "Vec3":
+        """Component-wise product (used by ``Scale``)."""
+        return Vec3(self.x * other.x, self.y * other.y, self.z * other.z)
+
+    def dot(self, other: "Vec3") -> float:
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "Vec3") -> "Vec3":
+        return Vec3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def norm(self) -> float:
+        return math.sqrt(self.dot(self))
+
+    def distance(self, other: "Vec3") -> float:
+        return (self - other).norm()
+
+    def normalized(self) -> "Vec3":
+        n = self.norm()
+        if n == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return self / n
+
+    # -- comparisons -----------------------------------------------------------
+
+    def close_to(self, other: "Vec3", tolerance: float = 1e-9) -> bool:
+        """True when every component differs by at most ``tolerance``."""
+        return (
+            abs(self.x - other.x) <= tolerance
+            and abs(self.y - other.y) <= tolerance
+            and abs(self.z - other.z) <= tolerance
+        )
+
+    # -- conversions -----------------------------------------------------------
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.x, self.y, self.z)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+        yield self.z
+
+    def __getitem__(self, index: int) -> float:
+        return (self.x, self.y, self.z)[index]
+
+    def __str__(self) -> str:
+        return f"({self.x}, {self.y}, {self.z})"

@@ -1,0 +1,20 @@
+"""Generic language infrastructure shared by CSG and LambdaCAD.
+
+This package provides the immutable :class:`~repro.lang.term.Term`
+representation used everywhere in the reproduction, plus an s-expression
+reader/printer compatible with the serialization format the paper uses
+(Janestreet-style s-expressions).
+"""
+
+from repro.lang.sexp import Sexp, parse_sexp, parse_many, format_sexp, SexpError
+from repro.lang.term import Term, TermError
+
+__all__ = [
+    "Sexp",
+    "SexpError",
+    "parse_sexp",
+    "parse_many",
+    "format_sexp",
+    "Term",
+    "TermError",
+]

@@ -1,0 +1,175 @@
+"""S-expression reader and printer.
+
+The paper serializes both CSG inputs and LambdaCAD outputs as s-expressions
+(via Janestreet's ``@deriving sexp``).  We use the same concrete syntax so
+programs round-trip cleanly:
+
+* an *atom* is a symbol (``Union``, ``Translate``, ``x``), an integer, or a
+  float;
+* a *list* is a parenthesized, whitespace-separated sequence of s-expressions;
+* line comments start with ``;`` and run to end of line.
+
+The reader is hand-written (no dependencies) and reports positions in error
+messages.  The printer produces either a compact single-line rendering or a
+width-limited pretty rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Union
+
+#: A parsed s-expression: an atom (``str``, ``int``, ``float``) or a nested
+#: list of s-expressions.
+Sexp = Union[str, int, float, list]
+
+
+class SexpError(ValueError):
+    """Raised when s-expression text cannot be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+_DELIMITERS = "()"
+_WHITESPACE = " \t\r\n"
+
+
+@dataclass
+class _Token:
+    """A lexical token with its source position."""
+
+    kind: str  # "(", ")", or "atom"
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    """Yield tokens from ``text``, tracking line/column for error messages."""
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+        elif ch in _WHITESPACE:
+            column += 1
+            i += 1
+        elif ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch in _DELIMITERS:
+            yield _Token(ch, ch, line, column)
+            column += 1
+            i += 1
+        else:
+            start = i
+            start_col = column
+            while i < n and text[i] not in _WHITESPACE + _DELIMITERS + ";":
+                i += 1
+                column += 1
+            yield _Token("atom", text[start:i], line, start_col)
+
+
+def _parse_atom(text: str) -> Sexp:
+    """Interpret an atom token as an int, float, or symbol string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_many(text: str) -> list:
+    """Parse all s-expressions in ``text`` and return them as a list."""
+    results: list = []
+    stack: list = []
+    last_line = 1
+    last_col = 1
+    for token in _tokenize(text):
+        last_line, last_col = token.line, token.column
+        if token.kind == "(":
+            stack.append([])
+        elif token.kind == ")":
+            if not stack:
+                raise SexpError("unbalanced ')'", token.line, token.column)
+            finished = stack.pop()
+            if stack:
+                stack[-1].append(finished)
+            else:
+                results.append(finished)
+        else:
+            atom = _parse_atom(token.text)
+            if stack:
+                stack[-1].append(atom)
+            else:
+                results.append(atom)
+    if stack:
+        raise SexpError("unbalanced '(': unexpected end of input", last_line, last_col)
+    return results
+
+
+def parse_sexp(text: str) -> Sexp:
+    """Parse exactly one s-expression from ``text``.
+
+    Raises :class:`SexpError` when the text is empty, malformed, or contains
+    more than one top-level expression.
+    """
+    results = parse_many(text)
+    if not results:
+        raise SexpError("empty input")
+    if len(results) > 1:
+        raise SexpError(f"expected a single s-expression, found {len(results)}")
+    return results[0]
+
+
+def _format_atom(atom: Sexp) -> str:
+    if isinstance(atom, bool):
+        return "true" if atom else "false"
+    if isinstance(atom, float):
+        # Render floats without exponent noise where possible; keep integral
+        # floats distinguishable from ints (the languages treat both as R).
+        if atom == int(atom) and abs(atom) < 1e16:
+            return f"{atom:.1f}"
+        return repr(atom)
+    return str(atom)
+
+
+def format_sexp(sexp: Sexp, *, width: int = 80, indent: int = 0) -> str:
+    """Render ``sexp`` back to text.
+
+    The renderer prefers a single line; when a list does not fit in ``width``
+    columns, it breaks after the head symbol and indents the arguments by two
+    spaces, which matches how the paper typesets its programs.
+    """
+    flat = _format_flat(sexp)
+    if len(flat) + indent <= width:
+        return flat
+    if not isinstance(sexp, list) or not sexp:
+        return flat
+    head = _format_flat(sexp[0])
+    pad = " " * (indent + 2)
+    parts = [
+        format_sexp(child, width=width, indent=indent + 2) for child in sexp[1:]
+    ]
+    body = ("\n" + pad).join(parts)
+    return f"({head}\n{pad}{body})"
+
+
+def _format_flat(sexp: Sexp) -> str:
+    if isinstance(sexp, list):
+        return "(" + " ".join(_format_flat(child) for child in sexp) + ")"
+    return _format_atom(sexp)

@@ -1,0 +1,130 @@
+"""AST node definitions for the OpenSCAD subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# -- expressions ---------------------------------------------------------------
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: float
+
+
+@dataclass(frozen=True)
+class String(Expr):
+    value: str
+
+
+@dataclass(frozen=True)
+class Boolean(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class Ident(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Vector(Expr):
+    items: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Range(Expr):
+    """A range literal ``[start : step? : end]``."""
+
+    start: Expr
+    end: Expr
+    step: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Conditional(Expr):
+    condition: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A function call in expression position, e.g. ``sin(30)``."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Vector indexing ``v[0]``."""
+
+    target: Expr
+    index: Expr
+
+
+# -- statements ----------------------------------------------------------------
+
+class Statement:
+    """Base class for statements."""
+
+
+@dataclass
+class Assignment(Statement):
+    name: str
+    value: Expr
+
+
+@dataclass
+class ModuleCall(Statement):
+    """``name(args) { children }`` or ``name(args) child;`` or ``name(args);``."""
+
+    name: str
+    positional: List[Expr] = field(default_factory=list)
+    named: List[Tuple[str, Expr]] = field(default_factory=list)
+    children: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class ForLoop(Statement):
+    variable: str
+    iterable: Expr
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class IfStatement(Statement):
+    condition: Expr
+    then_body: List[Statement] = field(default_factory=list)
+    else_body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class ModuleDef(Statement):
+    name: str
+    params: List[Tuple[str, Optional[Expr]]] = field(default_factory=list)
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    statements: List[Statement] = field(default_factory=list)

@@ -1,0 +1,102 @@
+"""Tokenizer for the OpenSCAD subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class ScadSyntaxError(ValueError):
+    """Raised for malformed OpenSCAD source."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        super().__init__(f"{message} (line {line})" if line else message)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: kind is one of number, ident, string, op, punct."""
+
+    kind: str
+    text: str
+    line: int
+
+    @property
+    def value(self) -> float:
+        if self.kind != "number":
+            raise ScadSyntaxError(f"token {self.text!r} is not a number", self.line)
+        return float(self.text)
+
+
+_PUNCTUATION = "()[]{},;="
+_OPERATORS = ("<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "!", ":", "?", ".")
+_KEYWORDS = {"module", "function", "for", "if", "else", "true", "false", "let", "each"}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize OpenSCAD source, stripping ``//`` and ``/* */`` comments."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+        elif ch in " \t\r":
+            i += 1
+        elif source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+        elif source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise ScadSyntaxError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+        elif ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                i += 1
+            if i < n and source[i] in "eE":
+                i += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            tokens.append(Token("number", source[start:i], line))
+        elif ch.isalpha() or ch == "_" or ch == "$":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] in "_$"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in _KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+        elif ch == '"':
+            start = i
+            i += 1
+            while i < n and source[i] != '"':
+                if source[i] == "\\":
+                    i += 1
+                i += 1
+            if i >= n:
+                raise ScadSyntaxError("unterminated string literal", line)
+            i += 1
+            tokens.append(Token("string", source[start + 1 : i - 1], line))
+        else:
+            matched = None
+            for operator in _OPERATORS:
+                if source.startswith(operator, i):
+                    matched = operator
+                    break
+            if matched is not None and matched not in _PUNCTUATION:
+                tokens.append(Token("op", matched, line))
+                i += len(matched)
+            elif ch in _PUNCTUATION:
+                tokens.append(Token("punct", ch, line))
+                i += 1
+            else:
+                raise ScadSyntaxError(f"unexpected character {ch!r}", line)
+    return tokens

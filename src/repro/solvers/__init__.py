@@ -1,0 +1,55 @@
+"""Closed-form function inference ("the arithmetic component").
+
+Given the sequence of values a vector component takes across the elements of
+a determinized list, these solvers search for a closed form of the index
+(paper Section 4.1):
+
+1. a first-degree polynomial ``a*i + b``,
+2. a second-degree polynomial ``a*i^2 + b*i + c``,
+3. a trigonometric form ``a*sin(b*i + c)`` (angles in degrees).
+
+All fits must hold within an explicit tolerance ``epsilon`` (default 0.001),
+because real inputs carry floating-point noise from mesh decompilation.  The
+paper uses Z3 for the polynomial forms; offline we solve the identical
+feasibility question with exact linear algebra plus coefficient
+rationalization (see ``DESIGN.md``, "Substitutions").  The trigonometric
+solver follows the paper: non-linear least squares with an SVD-based
+Gauss–Newton refinement, judged by the coefficient of determination R².
+"""
+
+from repro.solvers.forms import (
+    ClosedForm,
+    LinearForm,
+    QuadraticForm,
+    SinusoidForm,
+    ConstantForm,
+)
+from repro.solvers.polynomial import fit_constant, fit_linear, fit_quadratic
+from repro.solvers.trig import fit_sinusoid
+from repro.solvers.rational import nice_round, rationalize
+from repro.solvers.closed_form import (
+    FunctionSolver,
+    SolverConfig,
+    solve_component,
+    solve_vectors,
+    VectorFunction,
+)
+
+__all__ = [
+    "ClosedForm",
+    "ConstantForm",
+    "LinearForm",
+    "QuadraticForm",
+    "SinusoidForm",
+    "fit_constant",
+    "fit_linear",
+    "fit_quadratic",
+    "fit_sinusoid",
+    "nice_round",
+    "rationalize",
+    "FunctionSolver",
+    "SolverConfig",
+    "solve_component",
+    "solve_vectors",
+    "VectorFunction",
+]

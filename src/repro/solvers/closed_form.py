@@ -1,0 +1,224 @@
+"""Model selection across the closed-form solvers.
+
+``solve_component`` tries, in order, the constant, degree-1, degree-2, and
+trigonometric families, keeps every feasible fit (max residual within
+epsilon), and returns the one with the best coefficient of determination —
+ties broken by the *simplest* rendered expression, so a constant beats an
+equivalent degree-2 fit.  ``solve_vectors`` solves the three components of a
+list of 3-vectors independently, which is exactly how the paper's function
+inference decomposes the problem (Section 4.1).
+
+The rotation heuristic from the paper is applied here: when the solved
+component feeds a ``Rotate``, a feasible linear fit ``a*i + b`` whose step
+divides 360 is re-expressed as ``360 * (i [+1]) / n`` (a
+:class:`~repro.solvers.forms.RotationForm`), which surfaces the loop bound
+(e.g. the gear's 60 teeth) directly in the program text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lang.term import Term
+from repro.solvers.forms import (
+    ClosedForm,
+    ConstantForm,
+    LinearForm,
+    RotationForm,
+    SinusoidForm,
+)
+from repro.solvers.polynomial import fit_constant, fit_linear, fit_quadratic
+from repro.solvers.rational import as_int_if_close
+from repro.solvers.trig import fit_sinusoid
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Knobs of the arithmetic component."""
+
+    #: Tolerance on every observation (the paper's epsilon = 0.001).
+    epsilon: float = 1e-3
+    #: Whether to attempt the trigonometric family at all.
+    enable_trig: bool = True
+    #: Whether to rewrite rotation fits into the 360*(i+shift)/n shape.
+    rotation_heuristic: bool = True
+    #: Maximum loop bound considered by the rotation heuristic.
+    max_rotation_count: int = 720
+
+
+@dataclass
+class ComponentSolution:
+    """A feasible closed form together with its goodness of fit."""
+
+    form: ClosedForm
+    r_squared: float
+
+    @property
+    def kind(self) -> str:
+        return self.form.kind
+
+
+def _rotation_normalize(
+    form: LinearForm, values: Sequence[float], config: SolverConfig
+) -> Optional[RotationForm]:
+    """Convert a linear rotation fit into the periodic 360/n shape."""
+    step = as_int_if_close(form.a, tolerance=max(1e-6, config.epsilon))
+    if step is None or step == 0:
+        return None
+    if 360 % abs(step) != 0:
+        return None
+    count = 360 // abs(step)
+    if count < 2 or count > config.max_rotation_count:
+        return None
+    intercept = as_int_if_close(form.b, tolerance=max(1e-6, config.epsilon))
+    if intercept is None:
+        return None
+    if intercept == 0:
+        candidate = RotationForm(count=count, shift=0)
+    elif intercept == step:
+        candidate = RotationForm(count=count, shift=1)
+    else:
+        candidate = RotationForm(count=count, shift=0, offset=float(intercept))
+    if step < 0:
+        # Negative steps stay as plain linear forms; a negative "count" would
+        # read worse than -6*i.
+        return None
+    if candidate.satisfies(values, config.epsilon):
+        return candidate
+    return None
+
+
+def solve_component(
+    values: Sequence[float],
+    config: Optional[SolverConfig] = None,
+    *,
+    is_rotation: bool = False,
+) -> Optional[ComponentSolution]:
+    """Find the best closed form for one vector component."""
+    config = config or SolverConfig()
+    values = [float(v) for v in values]
+    if not values:
+        return None
+
+    # The paper tries the polynomial families first and only falls back to
+    # the trigonometric solver when no polynomial fits (Section 4.1).  This
+    # ordering also keeps noisy-but-constant data from being "explained" by a
+    # sinusoid that interpolates the noise.
+    candidates: List[ClosedForm] = []
+
+    constant = fit_constant(values, config.epsilon)
+    if constant is not None:
+        candidates.append(constant)
+
+    linear = fit_linear(values, config.epsilon)
+    if linear is not None:
+        if is_rotation and config.rotation_heuristic:
+            rotation = _rotation_normalize(linear, values, config)
+            if rotation is not None:
+                candidates.append(rotation)
+        candidates.append(linear)
+
+    quadratic = fit_quadratic(values, config.epsilon)
+    if quadratic is not None:
+        candidates.append(quadratic)
+
+    feasible = [c for c in candidates if c.satisfies(values, config.epsilon)]
+
+    if not feasible and config.enable_trig and len(set(values)) >= 2:
+        sinusoid = fit_sinusoid(values, config.epsilon)
+        if sinusoid is not None and sinusoid.satisfies(values, config.epsilon):
+            feasible = [sinusoid]
+
+    if not feasible:
+        return None
+
+    def rank(form: ClosedForm) -> Tuple[float, int, int]:
+        # Maximize R^2 (so sort on its negation), then — for rotation
+        # components — prefer the periodic 360/n shape (the paper's rotation
+        # heuristic), then prefer simpler terms.
+        rotation_preference = 0 if (is_rotation and isinstance(form, RotationForm)) else 1
+        return (-round(form.r_squared(values), 9), rotation_preference, form.complexity())
+
+    best = min(feasible, key=rank)
+    return ComponentSolution(form=best, r_squared=best.r_squared(values))
+
+
+@dataclass
+class VectorFunction:
+    """Closed forms for the x, y, z components of an affine-vector list."""
+
+    x: ClosedForm
+    y: ClosedForm
+    z: ClosedForm
+    r_squared: float = 1.0
+
+    def to_terms(self, index: Term) -> Tuple[Term, Term, Term]:
+        """Render the three component expressions over the index variable."""
+        return (self.x.to_term(index), self.y.to_term(index), self.z.to_term(index))
+
+    def predict(self, index: int) -> Tuple[float, float, float]:
+        return (self.x.predict(index), self.y.predict(index), self.z.predict(index))
+
+    def kinds(self) -> Tuple[str, str, str]:
+        return (self.x.kind, self.y.kind, self.z.kind)
+
+    def dominant_kind(self) -> str:
+        """The most "interesting" function class across components.
+
+        Table 1's ``f`` column reports one label per loop; a trigonometric
+        component outranks polynomials, and degree 2 outranks degree 1.
+        """
+        kinds = set(self.kinds())
+        if "theta" in kinds:
+            return "theta"
+        if "d2" in kinds:
+            return "d2"
+        return "d1"
+
+    def is_constant(self) -> bool:
+        """True when all three components are constants."""
+        return all(isinstance(f, ConstantForm) for f in (self.x, self.y, self.z))
+
+    def describe(self) -> str:
+        return f"({self.x.describe()}, {self.y.describe()}, {self.z.describe()})"
+
+
+class FunctionSolver:
+    """Facade over the component solvers, operating on lists of 3-vectors."""
+
+    def __init__(self, config: Optional[SolverConfig] = None):
+        self.config = config or SolverConfig()
+
+    def solve(
+        self, vectors: Sequence[Sequence[float]], *, is_rotation: bool = False
+    ) -> Optional[VectorFunction]:
+        """Find closed forms for every component of ``vectors`` or ``None``."""
+        if not vectors:
+            return None
+        columns = list(zip(*[tuple(v) for v in vectors]))
+        if len(columns) != 3:
+            raise ValueError("expected 3-component vectors")
+        solutions = []
+        for column in columns:
+            solution = solve_component(column, self.config, is_rotation=is_rotation)
+            if solution is None:
+                return None
+            solutions.append(solution)
+        overall_r2 = min(s.r_squared for s in solutions)
+        return VectorFunction(
+            x=solutions[0].form,
+            y=solutions[1].form,
+            z=solutions[2].form,
+            r_squared=overall_r2,
+        )
+
+
+def solve_vectors(
+    vectors: Sequence[Sequence[float]],
+    config: Optional[SolverConfig] = None,
+    *,
+    is_rotation: bool = False,
+) -> Optional[VectorFunction]:
+    """Module-level convenience wrapper around :class:`FunctionSolver`."""
+    return FunctionSolver(config).solve(vectors, is_rotation=is_rotation)

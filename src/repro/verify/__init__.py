@@ -1,0 +1,37 @@
+"""Translation validation of synthesized programs (paper Section 7).
+
+A synthesized LambdaCAD program is correct when, unrolled back to flat CSG,
+it denotes the same solid as the input.  Three checks of increasing strength
+are provided:
+
+* :func:`terms_equal_modulo_epsilon` — exact structural equality up to a
+  numeric tolerance (catches the common case where unrolling reproduces the
+  input verbatim);
+* :func:`equivalent_modulo_reordering` — equality of union/intersection
+  operand multisets, recursively (synthesis is free to reorder commutative
+  operands, e.g. after list sorting);
+* :func:`geometrically_equivalent` — point-membership comparison over a
+  shared sampling grid plus a sampled Hausdorff distance bound, which is the
+  paper's suggested rigorous check.
+"""
+
+from repro.verify.structural import (
+    terms_equal_modulo_epsilon,
+    equivalent_modulo_reordering,
+)
+from repro.verify.geometric import (
+    geometrically_equivalent,
+    occupancy_agreement,
+    GeometricReport,
+)
+from repro.verify.validate import validate_synthesis, ValidationResult
+
+__all__ = [
+    "terms_equal_modulo_epsilon",
+    "equivalent_modulo_reordering",
+    "geometrically_equivalent",
+    "occupancy_agreement",
+    "GeometricReport",
+    "validate_synthesis",
+    "ValidationResult",
+]

@@ -1,0 +1,68 @@
+"""Structural equivalence of flat CSG terms."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.term import Term
+
+
+def terms_equal_modulo_epsilon(a: Term, b: Term, epsilon: float = 1e-6) -> bool:
+    """Structural equality allowing numeric literals to differ by ``epsilon``."""
+    if a.is_number and b.is_number:
+        return abs(float(a.value) - float(b.value)) <= epsilon
+    if a.op != b.op or len(a.children) != len(b.children):
+        return False
+    return all(
+        terms_equal_modulo_epsilon(x, y, epsilon)
+        for x, y in zip(a.children, b.children)
+    )
+
+
+def _flatten_commutative(term: Term, op: str) -> List[Term]:
+    """Flatten a nested chain of a commutative operator into its operands."""
+    if term.op != op:
+        return [term]
+    operands: List[Term] = []
+    for child in term.children:
+        operands.extend(_flatten_commutative(child, op))
+    return operands
+
+
+def equivalent_modulo_reordering(a: Term, b: Term, epsilon: float = 1e-6) -> bool:
+    """Equality up to reordering (and re-association) of Union/Inter operands.
+
+    Synthesis may legally reorder the operands of commutative boolean
+    operators — the list-manipulation step sorts folded lists — so the
+    unrolled output can be a permutation of the input's union chain.  ``Diff``
+    operands keep their sides.
+    """
+    if a.is_number and b.is_number:
+        return abs(float(a.value) - float(b.value)) <= epsilon
+
+    if a.op != b.op:
+        return False
+
+    if a.op in ("Union", "Inter"):
+        left = _flatten_commutative(a, str(a.op))
+        right = _flatten_commutative(b, str(a.op))
+        if len(left) != len(right):
+            return False
+        remaining = list(right)
+        for operand in left:
+            match_index = None
+            for index, candidate in enumerate(remaining):
+                if equivalent_modulo_reordering(operand, candidate, epsilon):
+                    match_index = index
+                    break
+            if match_index is None:
+                return False
+            remaining.pop(match_index)
+        return True
+
+    if len(a.children) != len(b.children):
+        return False
+    return all(
+        equivalent_modulo_reordering(x, y, epsilon)
+        for x, y in zip(a.children, b.children)
+    )

@@ -1,0 +1,75 @@
+"""End-to-end validation of a synthesis result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cad.evaluator import EvalError, unroll
+from repro.lang.term import Term
+from repro.verify.geometric import GeometricReport, occupancy_agreement
+from repro.verify.structural import (
+    equivalent_modulo_reordering,
+    terms_equal_modulo_epsilon,
+)
+
+
+@dataclass
+class ValidationResult:
+    """How a synthesized program compared against its input."""
+
+    unrolled: Optional[Term]
+    exact_match: bool
+    reorder_match: bool
+    geometric: Optional[GeometricReport]
+    error: Optional[str] = None
+
+    @property
+    def valid(self) -> bool:
+        """True when any of the three checks accepts the program."""
+        if self.error is not None:
+            return False
+        if self.exact_match or self.reorder_match:
+            return True
+        return self.geometric is not None and self.geometric.equivalent()
+
+
+def validate_synthesis(
+    input_csg: Term,
+    synthesized: Term,
+    *,
+    epsilon: float = 1e-3,
+    geometric_resolution: int = 0,
+) -> ValidationResult:
+    """Validate a synthesized program against the input flat CSG.
+
+    Structural checks always run; the geometric check is only performed when
+    ``geometric_resolution`` is positive (it is the most expensive) or when
+    both structural checks fail and a resolution of 16 is used as a fallback.
+    """
+    try:
+        unrolled = unroll(synthesized)
+    except EvalError as exc:
+        return ValidationResult(
+            unrolled=None,
+            exact_match=False,
+            reorder_match=False,
+            geometric=None,
+            error=str(exc),
+        )
+
+    exact = terms_equal_modulo_epsilon(input_csg, unrolled, epsilon)
+    reorder = exact or equivalent_modulo_reordering(input_csg, unrolled, epsilon)
+
+    geometric: Optional[GeometricReport] = None
+    if geometric_resolution > 0:
+        geometric = occupancy_agreement(input_csg, unrolled, resolution=geometric_resolution)
+    elif not reorder:
+        geometric = occupancy_agreement(input_csg, unrolled, resolution=16)
+
+    return ValidationResult(
+        unrolled=unrolled,
+        exact_match=exact,
+        reorder_match=reorder,
+        geometric=geometric,
+    )

@@ -1,0 +1,211 @@
+"""Unit tests for LambdaCAD: builders, validation, and the unrolling evaluator."""
+
+import math
+
+import pytest
+
+from repro.cad.build import (
+    add,
+    affine,
+    rotate_expr,
+    scale_expr,
+    translate_expr,
+    arctan,
+    app,
+    cons,
+    cons_list,
+    concat,
+    cos,
+    div,
+    fold,
+    fold_union,
+    fun,
+    int_list,
+    map_,
+    mapi,
+    mul,
+    nil,
+    repeat,
+    sin,
+    sub,
+    var,
+)
+from repro.cad.evaluator import EvalError, evaluate, unroll
+from repro.cad.ops import uses_loops
+from repro.cad.validate import LambdaCadValidationError, validate_lambda_cad
+from repro.csg.build import cube, scale, sphere, translate, union, union_all, unit
+from repro.csg.validate import is_flat_csg
+from repro.lang.term import Term
+from repro.verify.structural import equivalent_modulo_reordering, terms_equal_modulo_epsilon
+
+
+class TestArithmeticEvaluation:
+    def test_add_mul(self):
+        assert evaluate(add(2, mul(3, 4))) == 14
+
+    def test_sub_div(self):
+        assert evaluate(div(sub(10, 4), 3)) == pytest.approx(2.0)
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            evaluate(div(1, 0))
+
+    def test_trig_degrees(self):
+        assert evaluate(sin(90)) == pytest.approx(1.0)
+        assert evaluate(cos(180)) == pytest.approx(-1.0)
+        assert evaluate(arctan(1, 1)) == pytest.approx(45.0)
+
+    def test_int_float_wrappers(self):
+        assert evaluate(Term.parse("(Int 3)")) == 3
+        assert evaluate(Term.parse("(Float 2.5)")) == 2.5
+
+
+class TestListEvaluation:
+    def test_nil_and_cons(self):
+        assert evaluate(nil()) == []
+        assert evaluate(cons_list([1, 2, 3])) == [1, 2, 3]
+
+    def test_concat(self):
+        assert evaluate(concat(cons_list([1]), cons_list([2, 3]))) == [1, 2, 3]
+
+    def test_repeat(self):
+        assert evaluate(repeat(7, 4)) == [7, 7, 7, 7]
+
+    def test_repeat_negative_count_rejected(self):
+        with pytest.raises(EvalError):
+            evaluate(Term("Repeat", (Term.num(1), Term.num(-2))))
+
+    def test_int_list(self):
+        assert evaluate(int_list(range(3))) == [0, 1, 2]
+
+
+class TestFunctionsAndMaps:
+    def test_fun_and_app(self):
+        double = fun(("x",), mul(var("x"), 2))
+        assert evaluate(app(double, 21)) == 42
+
+    def test_map(self):
+        program = map_(fun(("x",), add(var("x"), 10)), cons_list([1, 2, 3]))
+        assert evaluate(program) == [11, 12, 13]
+
+    def test_mapi_receives_index(self):
+        program = mapi(fun(("i", "c"), add(var("i"), var("c"))), cons_list([100, 100]))
+        assert evaluate(program) == [100, 101]
+
+    def test_bare_parameter_names_resolve(self):
+        # The paper writes parameters without the Var wrapper inside bodies.
+        program = mapi(fun(("i", "c"), mul(Term("i"), Term("c"))), cons_list([5, 5]))
+        assert evaluate(program) == [0, 5]
+
+    def test_wrong_arity_rejected(self):
+        program = map_(fun(("i", "c"), var("i")), cons_list([1]))
+        with pytest.raises(EvalError):
+            evaluate(program)
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(EvalError):
+            evaluate(var("nope"))
+
+
+class TestFolds:
+    def test_fold_union_drops_empty_accumulator(self):
+        program = fold_union(cons_list([cube(), sphere()]))
+        assert unroll(program) == union(cube(), sphere())
+
+    def test_fold_union_on_empty_list(self):
+        assert unroll(fold_union(nil())) == Term("Empty")
+
+    def test_fold_with_unary_function_is_map_concat(self):
+        # The nested-loop output convention (paper Fig. 17).
+        program = fold(
+            fun(("i",), translate_expr(mul(2, Term("i")), 0, 0, cube())),
+            nil(),
+            int_list(range(3)),
+        )
+        value = evaluate(program)
+        assert isinstance(value, list) and len(value) == 3
+        assert value[2] == translate(4, 0, 0, cube())
+
+    def test_fold_with_binary_function(self):
+        program = fold(
+            fun(("x", "acc"), add(var("x"), var("acc"))), 0, cons_list([1, 2, 3])
+        )
+        assert evaluate(program) == 6
+
+    def test_fold_of_non_foldable_value_rejected(self):
+        with pytest.raises(EvalError):
+            evaluate(fold(Term.num(3), nil(), cons_list([1])))
+
+
+class TestUnrolling:
+    def test_gear_style_mapi(self):
+        tooth = scale(8, 4, 50, unit())
+        program = fold_union(
+            mapi(
+                fun(("i", "c"), Term("Rotate", (
+                    Term.num(0), Term.num(0), mul(6.0, add(Term("i"), 1)),
+                    translate(125, 0, 0, Term("c")),
+                ))),
+                repeat(tooth, 4),
+            )
+        )
+        flat = unroll(program)
+        assert is_flat_csg(flat)
+        expected = union_all(
+            [Term("Rotate", (Term.num(0.0), Term.num(0.0), Term.num(6.0 * (i + 1)),
+                             translate(125, 0, 0, tooth))) for i in range(4)]
+        )
+        assert terms_equal_modulo_epsilon(flat, expected, epsilon=1e-9)
+
+    def test_nested_mapi_layers(self):
+        program = fold_union(
+            mapi(
+                fun(("i", "c"), translate_expr(mul(2, Term("i")), 0, 0, Term("c"))),
+                mapi(
+                    fun(("i", "c"), scale_expr(add(Term("i"), 1), 1, 1, Term("c"))),
+                    repeat(unit(), 3),
+                ),
+            )
+        )
+        flat = unroll(program)
+        expected = union_all(
+            [translate(2 * i, 0, 0, scale(i + 1, 1, 1, unit())) for i in range(3)]
+        )
+        assert terms_equal_modulo_epsilon(flat, expected, epsilon=1e-9)
+
+    def test_unroll_rejects_non_solid(self):
+        with pytest.raises(EvalError):
+            unroll(add(1, 2))
+        with pytest.raises(EvalError):
+            unroll(cons_list([1]))
+
+    def test_opaque_named_subdesign_passes_through(self):
+        program = fold_union(repeat(Term("Tooth"), 2))
+        flat = unroll(program)
+        assert flat == union(Term("Tooth"), Term("Tooth"))
+
+    def test_uses_loops_detection(self):
+        assert uses_loops(fold_union(repeat(cube(), 2)))
+        assert not uses_loops(union(cube(), sphere()))
+
+
+class TestValidation:
+    def test_valid_program(self):
+        program = fold_union(
+            mapi(fun(("i", "c"), translate_expr(Term("i"), 0, 0, Term("c"))), repeat(cube(), 3))
+        )
+        validate_lambda_cad(program)  # should not raise
+
+    def test_unbound_var_rejected(self):
+        with pytest.raises(LambdaCadValidationError):
+            validate_lambda_cad(var("i"))
+
+    def test_bound_var_accepted(self):
+        validate_lambda_cad(fun(("i",), var("i")))
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(LambdaCadValidationError):
+            validate_lambda_cad(Term("Cons", (Term.num(1),)))
+
+    def test_flat_csg_is_valid_lambda_cad(self):
+        validate_lambda_cad(union(translate(1, 2, 3, cube()), sphere()))

@@ -1,0 +1,79 @@
+"""Tests for the ``szalinski`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.csg.build import translate, union_all, unit
+from repro.csg.pretty import format_term
+
+
+@pytest.fixture
+def csg_file(tmp_path):
+    flat = union_all([translate(2.0 * (i + 1), 0, 0, unit()) for i in range(4)])
+    path = tmp_path / "cubes.csg"
+    path.write_text(format_term(flat))
+    return path
+
+
+@pytest.fixture
+def scad_file(tmp_path):
+    path = tmp_path / "design.scad"
+    path.write_text(
+        "difference() { cube([30, 10, 5]); for (i = [0:2]) translate([5 + i*10, 5, -1]) cylinder(h=8, r=2); }"
+    )
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_global_options(self):
+        args = build_parser().parse_args(
+            ["--epsilon", "0.01", "--top-k", "3", "--cost", "reward-loops", "list"]
+        )
+        assert args.epsilon == 0.01
+        assert args.top_k == 3
+        assert args.cost == "reward-loops"
+
+    def test_bench_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "not-a-benchmark"])
+
+
+class TestCommands:
+    def test_synth_prints_candidates(self, csg_file, capsys):
+        exit_code = main(["synth", str(csg_file), "--validate"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "rank 1" in captured
+        assert "Mapi" in captured
+        assert "validation: OK" in captured
+
+    def test_synth_reports_loops_and_reduction(self, csg_file, capsys):
+        main(["synth", str(csg_file)])
+        captured = capsys.readouterr().out
+        assert "loops n1,4" in captured
+        assert "size reduction" in captured
+
+    def test_flatten_outputs_flat_csg(self, scad_file, capsys):
+        exit_code = main(["flatten", str(scad_file)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert captured.strip().startswith("(Diff")
+        assert "Cylinder" in captured
+
+    def test_list_names_all_benchmarks(self, capsys):
+        exit_code = main(["list"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "gear" in captured and "wardrobe" in captured
+        assert len([line for line in captured.splitlines() if line.strip()]) == 16
+
+    def test_bench_runs_single_model(self, capsys):
+        exit_code = main(["bench", "relay-box"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "relay-box" in captured
+        assert "average size reduction" in captured

@@ -1,0 +1,156 @@
+"""Unit tests for the e-graph engine: union-find, hashcons, congruence."""
+
+import pytest
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.unionfind import UnionFind
+from repro.lang.term import Term
+
+
+class TestUnionFind:
+    def test_make_set_sequential_ids(self):
+        uf = UnionFind()
+        assert [uf.make_set() for _ in range(3)] == [0, 1, 2]
+
+    def test_find_self(self):
+        uf = UnionFind()
+        a = uf.make_set()
+        assert uf.find(a) == a
+
+    def test_union_directs_to_keep(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        root = uf.union(a, b)
+        assert root == a
+        assert uf.find(b) == a
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        uf.union(a, b)
+        assert uf.union(a, b) == a
+
+    def test_transitive(self):
+        uf = UnionFind()
+        a, b, c = (uf.make_set() for _ in range(3))
+        uf.union(a, b)
+        uf.union(b, c)
+        assert uf.in_same_set(a, c)
+
+    def test_path_compression_keeps_correctness(self):
+        uf = UnionFind()
+        ids = [uf.make_set() for _ in range(50)]
+        for i in range(49):
+            uf.union(ids[i + 1], ids[i])
+        root = uf.find(ids[0])
+        assert all(uf.find(i) == root for i in ids)
+
+
+class TestEGraphBasics:
+    def test_add_leaf(self):
+        egraph = EGraph()
+        a = egraph.add_leaf("Cube")
+        assert len(egraph) == 1
+        assert egraph.nodes(a)[0].op == "Cube"
+
+    def test_hashcons_dedup(self):
+        egraph = EGraph()
+        a = egraph.add_leaf("Cube")
+        b = egraph.add_leaf("Cube")
+        assert a == b
+        assert len(egraph) == 1
+
+    def test_add_term_structure(self):
+        egraph = EGraph()
+        term = Term.parse("(Union (Translate 1 2 3 Cube) Cube)")
+        root = egraph.add_term(term)
+        # Cube is shared: Union, Translate, 1, 2, 3, Cube = 6 classes.
+        assert len(egraph) == 6
+        assert egraph.lookup_term(term) == egraph.find(root)
+
+    def test_lookup_missing(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union Cube Sphere)"))
+        assert egraph.lookup_term(Term.parse("(Union Sphere Cube)")) is None
+
+    def test_classes_with_op(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union Cube (Union Sphere Cube))"))
+        union_classes = egraph.classes_with_op("Union")
+        assert len(union_classes) == 2
+
+    def test_extract_any_round_trip(self):
+        egraph = EGraph()
+        term = Term.parse("(Translate 1 2 3 (Scale 4 5 6 Cube))")
+        root = egraph.add_term(term)
+        assert egraph.extract_any(root) == term
+
+
+class TestMergeAndRebuild:
+    def test_merge_makes_equal(self):
+        egraph = EGraph()
+        a = egraph.add_leaf("A")
+        b = egraph.add_leaf("B")
+        egraph.merge(a, b)
+        egraph.rebuild()
+        assert egraph.is_equal(a, b)
+        assert len(egraph) == 1
+
+    def test_congruence_propagates_to_parents(self):
+        egraph = EGraph()
+        fa = egraph.add_term(Term.parse("(F A)"))
+        fb = egraph.add_term(Term.parse("(F B)"))
+        assert not egraph.is_equal(fa, fb)
+        a = egraph.lookup_term(Term("A"))
+        b = egraph.lookup_term(Term("B"))
+        egraph.merge(a, b)
+        egraph.rebuild()
+        assert egraph.is_equal(fa, fb)
+
+    def test_congruence_chains(self):
+        egraph = EGraph()
+        gfa = egraph.add_term(Term.parse("(G (F A))"))
+        gfb = egraph.add_term(Term.parse("(G (F B))"))
+        egraph.merge(egraph.lookup_term(Term("A")), egraph.lookup_term(Term("B")))
+        egraph.rebuild()
+        assert egraph.is_equal(gfa, gfb)
+
+    def test_merge_is_idempotent(self):
+        egraph = EGraph()
+        a = egraph.add_leaf("A")
+        b = egraph.add_leaf("B")
+        egraph.merge(a, b)
+        egraph.rebuild()
+        version = egraph.version
+        egraph.merge(a, b)
+        egraph.rebuild()
+        assert egraph.version == version
+
+    def test_total_enodes_counts_all(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union Cube Sphere)"))
+        assert egraph.total_enodes == 3
+
+    def test_merged_class_contains_both_nodes(self):
+        egraph = EGraph()
+        a = egraph.add_term(Term.parse("(F A)"))
+        b = egraph.add_term(Term.parse("(G B)"))
+        egraph.merge(a, b)
+        egraph.rebuild()
+        ops = {node.op for node in egraph.nodes(a)}
+        assert ops == {"F", "G"}
+
+    def test_self_loop_via_merge_with_child(self):
+        # Merging (Union x x) with x creates a cycle; rebuild must terminate.
+        egraph = EGraph()
+        x = egraph.add_leaf("X")
+        union = egraph.add_enode(ENode("Union", (x, x)))
+        egraph.merge(union, x)
+        egraph.rebuild()
+        assert egraph.is_equal(union, x)
+
+    def test_dump_mentions_operators(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union Cube Sphere)"))
+        dump = egraph.dump()
+        assert "Union" in dump and "Cube" in dump

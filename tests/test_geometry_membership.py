@@ -1,0 +1,156 @@
+"""Unit tests for point-membership CSG evaluation and Hausdorff validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.csg.build import (
+    cube,
+    cylinder,
+    diff,
+    hexagon,
+    inter,
+    rotate,
+    scale,
+    sphere,
+    translate,
+    union,
+)
+from repro.geometry.hausdorff import chamfer_distance, directed_hausdorff, hausdorff_distance
+from repro.geometry.membership import GeometryError, compile_csg, csg_contains
+from repro.geometry.sampling import occupancy_points, sample_grid
+from repro.geometry.vec import Vec3
+from repro.lang.term import Term
+
+
+class TestPrimitiveMembership:
+    def test_cube_contains_origin(self):
+        assert csg_contains(cube(), Vec3(0, 0, 0))
+
+    def test_cube_excludes_outside(self):
+        assert not csg_contains(cube(), Vec3(0.6, 0, 0))
+
+    def test_sphere_boundary(self):
+        assert csg_contains(sphere(), Vec3(1, 0, 0))
+        assert not csg_contains(sphere(), Vec3(1.01, 0, 0))
+
+    def test_cylinder_height_limits(self):
+        assert csg_contains(cylinder(), Vec3(0, 0, 0.49))
+        assert not csg_contains(cylinder(), Vec3(0, 0, 0.51))
+
+    def test_hexagon_inside_and_outside(self):
+        assert csg_contains(hexagon(), Vec3(0, 0, 0))
+        assert not csg_contains(hexagon(), Vec3(0.99, 0, 0))  # flat side faces x
+        assert csg_contains(hexagon(), Vec3(0, 0.99, 0))       # vertex on y axis
+
+    def test_empty_contains_nothing(self):
+        assert not csg_contains(Term("Empty"), Vec3(0, 0, 0))
+
+    def test_external_treated_as_empty(self):
+        assert not csg_contains(Term("External"), Vec3(0, 0, 0))
+
+
+class TestTransformedMembership:
+    def test_translate(self):
+        term = translate(10, 0, 0, cube())
+        assert csg_contains(term, Vec3(10, 0, 0))
+        assert not csg_contains(term, Vec3(0, 0, 0))
+
+    def test_scale(self):
+        term = scale(4, 1, 1, cube())
+        assert csg_contains(term, Vec3(1.9, 0, 0))
+        assert not csg_contains(term, Vec3(2.1, 0, 0))
+
+    def test_rotate(self):
+        term = rotate(0, 0, 90, scale(4, 1, 1, cube()))
+        assert csg_contains(term, Vec3(0, 1.9, 0))
+        assert not csg_contains(term, Vec3(1.9, 0, 0))
+
+    def test_nested_transforms(self):
+        term = translate(5, 0, 0, rotate(0, 0, 90, scale(4, 1, 1, cube())))
+        assert csg_contains(term, Vec3(5, 1.9, 0))
+
+
+class TestBooleanMembership:
+    def test_union(self):
+        term = union(cube(), translate(5, 0, 0, cube()))
+        assert csg_contains(term, Vec3(0, 0, 0))
+        assert csg_contains(term, Vec3(5, 0, 0))
+        assert not csg_contains(term, Vec3(2.5, 0, 0))
+
+    def test_diff(self):
+        term = diff(scale(4, 4, 4, cube()), cube())
+        assert not csg_contains(term, Vec3(0, 0, 0))
+        assert csg_contains(term, Vec3(1.5, 0, 0))
+
+    def test_inter(self):
+        term = inter(cube(), translate(0.5, 0, 0, cube()))
+        assert csg_contains(term, Vec3(0.25, 0, 0))
+        assert not csg_contains(term, Vec3(-0.25, 0, 0))
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(GeometryError):
+            csg_contains(Term("Hull", (cube(),)), Vec3(0, 0, 0))
+
+    def test_bounding_box_union(self):
+        solid = compile_csg(union(cube(), translate(5, 0, 0, cube())))
+        assert solid.bound_max.x >= 5.4
+        assert solid.bound_min.x <= -0.4
+
+
+class TestSamplingAndHausdorff:
+    def test_grid_size(self):
+        grid = sample_grid(Vec3(0, 0, 0), Vec3(1, 1, 1), resolution=4)
+        assert len(grid) == 64
+
+    def test_occupancy_fraction_of_sphere(self):
+        grid = sample_grid(Vec3(-1, -1, -1), Vec3(1, 1, 1), resolution=12)
+        inside = occupancy_points(sphere(), grid)
+        fraction = len(inside) / len(grid)
+        # Volume of the unit sphere / bounding cube = pi/6 ~ 0.52.
+        assert fraction == pytest.approx(0.5236, abs=0.08)
+
+    def test_hausdorff_identical_sets(self):
+        points = [Vec3(i, 0, 0) for i in range(10)]
+        assert hausdorff_distance(points, list(points)) == 0.0
+
+    def test_hausdorff_translated_sets(self):
+        a = [Vec3(i, 0, 0) for i in range(5)]
+        b = [Vec3(i, 1, 0) for i in range(5)]
+        assert hausdorff_distance(a, b) == pytest.approx(1.0)
+
+    def test_directed_asymmetry(self):
+        a = [Vec3(0, 0, 0)]
+        b = [Vec3(0, 0, 0), Vec3(10, 0, 0)]
+        assert directed_hausdorff(a, b) == 0.0
+        assert directed_hausdorff(b, a) == pytest.approx(10.0)
+
+    def test_empty_sets(self):
+        assert hausdorff_distance([], []) == 0.0
+        assert directed_hausdorff([Vec3(0, 0, 0)], []) == float("inf")
+
+    def test_chamfer_less_than_hausdorff(self):
+        a = [Vec3(i, 0, 0) for i in range(10)]
+        b = [Vec3(i, 0.1 * i, 0) for i in range(10)]
+        assert chamfer_distance(a, b) <= hausdorff_distance(a, b) + 1e-12
+
+
+_coords = st.floats(min_value=-3, max_value=3, allow_nan=False)
+
+
+@given(_coords, _coords, _coords, _coords, _coords, _coords)
+def test_translation_membership_property(px, py, pz, tx, ty, tz):
+    """p in T(v, cube) iff p - v in cube (property)."""
+    point = Vec3(px, py, pz)
+    term = translate(tx, ty, tz, cube())
+    direct = csg_contains(term, point)
+    shifted = csg_contains(cube(), Vec3(px - tx, py - ty, pz - tz))
+    assert direct == shifted
+
+
+@given(_coords, _coords, _coords)
+def test_union_commutative_property(px, py, pz):
+    """Membership in a union does not depend on operand order (property)."""
+    point = Vec3(px, py, pz)
+    a = translate(1, 0, 0, cube())
+    b = sphere()
+    assert csg_contains(union(a, b), point) == csg_contains(union(b, a), point)

@@ -1,0 +1,145 @@
+"""Unit tests for meshes, tessellation, and STL I/O."""
+
+import math
+
+import pytest
+
+from repro.csg.build import cube, cylinder, diff, rotate, scale, sphere, translate, union
+from repro.geometry.mat import AffineMatrix
+from repro.geometry.mesh import Mesh, Triangle
+from repro.geometry.primitives import (
+    tessellate_cube,
+    tessellate_cylinder,
+    tessellate_hexagon,
+    tessellate_sphere,
+)
+from repro.geometry.stl import StlError, read_stl, write_stl_ascii, write_stl_binary
+from repro.geometry.tessellate import tessellate_csg
+from repro.geometry.vec import Vec3
+
+
+class TestTriangle:
+    def test_normal_and_area(self):
+        t = Triangle(Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(0, 1, 0))
+        assert t.normal().close_to(Vec3(0, 0, 1))
+        assert t.area() == pytest.approx(0.5)
+
+    def test_degenerate_normal_is_zero(self):
+        t = Triangle(Vec3(0, 0, 0), Vec3(1, 1, 1), Vec3(2, 2, 2))
+        assert t.normal() == Vec3(0, 0, 0)
+
+    def test_centroid(self):
+        t = Triangle(Vec3(0, 0, 0), Vec3(3, 0, 0), Vec3(0, 3, 0))
+        assert t.centroid() == Vec3(1, 1, 0)
+
+    def test_sample_points_inside(self):
+        t = Triangle(Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(0, 1, 0))
+        for point in t.sample_points(20):
+            assert point.x >= -1e-9 and point.y >= -1e-9
+            assert point.x + point.y <= 1.0 + 1e-9
+
+
+class TestMesh:
+    def test_merge_and_len(self):
+        a = tessellate_cube()
+        b = tessellate_cube()
+        assert len(a.merged(b)) == len(a) + len(b)
+
+    def test_bounding_box_of_unit_cube(self):
+        lo, hi = tessellate_cube().bounding_box()
+        assert lo.close_to(Vec3(-0.5, -0.5, -0.5))
+        assert hi.close_to(Vec3(0.5, 0.5, 0.5))
+
+    def test_cube_surface_area(self):
+        assert tessellate_cube().surface_area() == pytest.approx(6.0)
+
+    def test_transformed(self):
+        mesh = tessellate_cube().transformed(AffineMatrix.scaling(Vec3(2, 2, 2)))
+        assert mesh.surface_area() == pytest.approx(24.0)
+
+    def test_empty_mesh(self):
+        assert Mesh.empty().is_empty()
+        assert Mesh.empty().surface_area() == 0.0
+
+
+class TestPrimitiveTessellation:
+    def test_cube_triangle_count(self):
+        assert len(tessellate_cube()) == 12
+
+    def test_cylinder_closed(self):
+        mesh = tessellate_cylinder(segments=16)
+        # 16 side quads (2 triangles each) + 2 * 16 cap triangles.
+        assert len(mesh) == 16 * 2 + 32
+
+    def test_hexagon_bounding_box(self):
+        lo, hi = tessellate_hexagon().bounding_box()
+        assert hi.z == pytest.approx(0.5)
+        assert lo.z == pytest.approx(-0.5)
+        assert max(abs(lo.x), abs(hi.x), abs(lo.y), abs(hi.y)) <= 1.0 + 1e-9
+
+    def test_sphere_vertices_on_unit_sphere(self):
+        for triangle in tessellate_sphere(slices=8, stacks=6):
+            for vertex in triangle.vertices():
+                assert vertex.norm() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestCsgTessellation:
+    def test_union_merges_triangles(self):
+        term = union(cube(), translate(3, 0, 0, cube()))
+        mesh = tessellate_csg(term)
+        assert len(mesh) == 24
+
+    def test_affine_applied(self):
+        mesh = tessellate_csg(scale(2, 3, 4, cube()))
+        lo, hi = mesh.bounding_box()
+        assert hi.close_to(Vec3(1.0, 1.5, 2.0))
+        assert lo.close_to(Vec3(-1.0, -1.5, -2.0))
+
+    def test_rotation_applied(self):
+        mesh = tessellate_csg(rotate(0, 0, 45, scale(2, 1, 1, cube())))
+        lo, hi = mesh.bounding_box()
+        expected = (1.0 + 0.5) / math.sqrt(2.0)
+        assert hi.x == pytest.approx(expected, rel=1e-6)
+
+    def test_diff_produces_soup(self):
+        mesh = tessellate_csg(diff(cube(), sphere()))
+        assert len(mesh) > 12  # both operand boundaries present
+
+
+class TestStlIO:
+    def test_ascii_round_trip(self, tmp_path):
+        mesh = tessellate_csg(scale(2, 2, 2, cube()))
+        path = tmp_path / "cube.stl"
+        write_stl_ascii(mesh, path, solid_name="test_cube")
+        loaded = read_stl(path)
+        assert len(loaded) == len(mesh)
+        assert loaded.surface_area() == pytest.approx(mesh.surface_area(), rel=1e-5)
+        assert path.read_text().startswith("solid test_cube")
+
+    def test_binary_round_trip(self, tmp_path):
+        mesh = tessellate_csg(cylinder())
+        path = tmp_path / "cylinder.stl"
+        write_stl_binary(mesh, path)
+        loaded = read_stl(path)
+        assert len(loaded) == len(mesh)
+        assert loaded.surface_area() == pytest.approx(mesh.surface_area(), rel=1e-5)
+
+    def test_ascii_matches_paper_layout(self, tmp_path):
+        path = tmp_path / "layout.stl"
+        write_stl_ascii(tessellate_csg(cube()), path)
+        text = path.read_text()
+        assert "facet normal" in text
+        assert "outer loop" in text
+        assert "endfacet" in text
+
+    def test_malformed_ascii_rejected(self, tmp_path):
+        path = tmp_path / "bad.stl"
+        path.write_text("solid x\nfacet normal 0 0 1\nouter loop\nvertex 0 0\nendloop\nendfacet\n")
+        with pytest.raises(StlError):
+            read_stl(path)
+
+    def test_truncated_binary_rejected(self, tmp_path):
+        path = tmp_path / "trunc.stl"
+        path.write_bytes(b"\0" * 80 + (100).to_bytes(4, "little") + b"\0" * 10)
+        with pytest.raises(StlError):
+            read_stl(path)

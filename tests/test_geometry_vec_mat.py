@@ -1,0 +1,135 @@
+"""Unit tests for vectors and affine matrices."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.mat import AffineMatrix
+from repro.geometry.vec import Vec3
+
+
+class TestVec3:
+    def test_arithmetic(self):
+        a = Vec3(1, 2, 3)
+        b = Vec3(4, 5, 6)
+        assert a + b == Vec3(5, 7, 9)
+        assert b - a == Vec3(3, 3, 3)
+        assert -a == Vec3(-1, -2, -3)
+        assert a * 2 == Vec3(2, 4, 6)
+        assert 2 * a == Vec3(2, 4, 6)
+        assert b / 2 == Vec3(2, 2.5, 3)
+
+    def test_dot_cross(self):
+        x = Vec3(1, 0, 0)
+        y = Vec3(0, 1, 0)
+        assert x.dot(y) == 0
+        assert x.cross(y) == Vec3(0, 0, 1)
+
+    def test_hadamard(self):
+        assert Vec3(1, 2, 3).hadamard(Vec3(2, 3, 4)) == Vec3(2, 6, 12)
+
+    def test_norm_and_distance(self):
+        assert Vec3(3, 4, 0).norm() == pytest.approx(5.0)
+        assert Vec3(0, 0, 0).distance(Vec3(0, 3, 4)) == pytest.approx(5.0)
+
+    def test_normalized(self):
+        v = Vec3(0, 0, 5).normalized()
+        assert v.close_to(Vec3(0, 0, 1))
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            Vec3.zero().normalized()
+
+    def test_of_requires_three(self):
+        with pytest.raises(ValueError):
+            Vec3.of([1, 2])
+
+    def test_iteration_and_indexing(self):
+        v = Vec3(1, 2, 3)
+        assert list(v) == [1, 2, 3]
+        assert v[1] == 2
+        assert v.as_tuple() == (1, 2, 3)
+
+    def test_close_to(self):
+        assert Vec3(1, 2, 3).close_to(Vec3(1 + 1e-12, 2, 3))
+        assert not Vec3(1, 2, 3).close_to(Vec3(1.1, 2, 3))
+
+
+class TestAffineMatrix:
+    def test_identity_is_noop(self):
+        p = Vec3(1.5, -2.0, 3.0)
+        assert AffineMatrix.identity().apply(p) == p
+
+    def test_translation(self):
+        m = AffineMatrix.translation(Vec3(1, 2, 3))
+        assert m.apply(Vec3(0, 0, 0)) == Vec3(1, 2, 3)
+        # Directions are unaffected by translation.
+        assert m.apply_vector(Vec3(1, 0, 0)) == Vec3(1, 0, 0)
+
+    def test_scaling(self):
+        m = AffineMatrix.scaling(Vec3(2, 3, 4))
+        assert m.apply(Vec3(1, 1, 1)) == Vec3(2, 3, 4)
+
+    def test_rotation_z_90(self):
+        m = AffineMatrix.rotation_z(90.0)
+        assert m.apply(Vec3(1, 0, 0)).close_to(Vec3(0, 1, 0), tolerance=1e-12)
+
+    def test_rotation_x_90(self):
+        m = AffineMatrix.rotation_x(90.0)
+        assert m.apply(Vec3(0, 1, 0)).close_to(Vec3(0, 0, 1), tolerance=1e-12)
+
+    def test_rotation_y_90(self):
+        m = AffineMatrix.rotation_y(90.0)
+        assert m.apply(Vec3(0, 0, 1)).close_to(Vec3(1, 0, 0), tolerance=1e-12)
+
+    def test_euler_order_matches_openscad(self):
+        # Rotate([90, 0, 90]) applies X first then Z.
+        m = AffineMatrix.rotation(Vec3(90.0, 0.0, 90.0))
+        expected = AffineMatrix.rotation_z(90.0) @ AffineMatrix.rotation_x(90.0)
+        assert m.close_to(expected, tolerance=1e-12)
+
+    def test_composition(self):
+        translate = AffineMatrix.translation(Vec3(1, 0, 0))
+        scale = AffineMatrix.scaling(Vec3(2, 2, 2))
+        composed = translate @ scale
+        assert composed.apply(Vec3(1, 1, 1)).close_to(Vec3(3, 2, 2))
+
+    def test_inverse_round_trip(self):
+        m = (
+            AffineMatrix.translation(Vec3(1, 2, 3))
+            @ AffineMatrix.rotation_z(30.0)
+            @ AffineMatrix.scaling(Vec3(2, 3, 4))
+        )
+        p = Vec3(0.7, -1.2, 2.5)
+        assert m.inverse().apply(m.apply(p)).close_to(p, tolerance=1e-9)
+
+    def test_singular_inverse_raises(self):
+        with pytest.raises(ValueError):
+            AffineMatrix.scaling(Vec3(0, 1, 1)).inverse()
+
+    def test_determinant(self):
+        assert AffineMatrix.scaling(Vec3(2, 3, 4)).determinant3() == pytest.approx(24.0)
+        assert AffineMatrix.rotation_z(37.0).determinant3() == pytest.approx(1.0)
+
+
+_angles = st.floats(min_value=-360, max_value=360, allow_nan=False)
+_coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@given(_angles, _coords, _coords, _coords)
+def test_rotation_preserves_norm(angle, x, y, z):
+    """Rotations are isometries (property)."""
+    p = Vec3(x, y, z)
+    rotated = AffineMatrix.rotation(Vec3(0, 0, angle)).apply(p)
+    assert rotated.norm() == pytest.approx(p.norm(), rel=1e-9, abs=1e-9)
+
+
+@given(_coords, _coords, _coords, _coords, _coords, _coords)
+def test_translation_composition_is_addition(x1, y1, z1, x2, y2, z2):
+    """Composing translations adds their offsets (property)."""
+    a = AffineMatrix.translation(Vec3(x1, y1, z1))
+    b = AffineMatrix.translation(Vec3(x2, y2, z2))
+    composed = a @ b
+    expected = AffineMatrix.translation(Vec3(x1 + x2, y1 + y2, z1 + z2))
+    assert composed.close_to(expected, tolerance=1e-9)

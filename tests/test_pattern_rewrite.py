@@ -1,0 +1,209 @@
+"""Unit tests for pattern matching, rewrites, the runner, and extraction."""
+
+import pytest
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.extract import Extractor, TopKExtractor, ast_size_cost
+from repro.egraph.pattern import Pattern, parse_pattern, search, instantiate, match_in_class
+from repro.egraph.rewrite import dynamic_rewrite, rewrite
+from repro.egraph.runner import Runner, RunnerLimits, StopReason
+from repro.lang.term import Term
+
+
+class TestPatternParsing:
+    def test_variable(self):
+        pattern = parse_pattern("?x")
+        assert pattern.is_var
+        assert pattern.variables() == ["x"]
+
+    def test_concrete(self):
+        pattern = parse_pattern("(Union Cube ?x)")
+        assert not pattern.is_var
+        assert pattern.variables() == ["x"]
+
+    def test_from_term(self):
+        pattern = Pattern.from_term(Term.parse("(Union Cube Sphere)"))
+        assert pattern.variables() == []
+
+    def test_to_term_instantiation(self):
+        pattern = parse_pattern("(Union ?a ?a)")
+        term = pattern.to_term({"a": Term("Cube")})
+        assert term == Term.parse("(Union Cube Cube)")
+
+    def test_to_term_unbound_raises(self):
+        with pytest.raises(KeyError):
+            parse_pattern("(Union ?a ?b)").to_term({"a": Term("Cube")})
+
+
+class TestEMatching:
+    def test_simple_match(self):
+        egraph = EGraph()
+        root = egraph.add_term(Term.parse("(Union Cube Sphere)"))
+        matches = search(egraph, parse_pattern("(Union ?a ?b)"))
+        assert len(matches) == 1
+        class_id, substitution = matches[0]
+        assert egraph.find(class_id) == egraph.find(root)
+        assert egraph.nodes(substitution["a"])[0].op == "Cube"
+
+    def test_nonlinear_pattern_requires_same_class(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union Cube Sphere)"))
+        egraph.add_term(Term.parse("(Union Cube Cube)"))
+        matches = search(egraph, parse_pattern("(Union ?a ?a)"))
+        assert len(matches) == 1
+
+    def test_match_across_equivalent_nodes(self):
+        egraph = EGraph()
+        a = egraph.add_term(Term.parse("(F A)"))
+        b = egraph.add_leaf("B")
+        egraph.merge(a, b)
+        egraph.rebuild()
+        # B's class also contains (F A) now, so the pattern matches it.
+        matches = search(egraph, parse_pattern("(F ?x)"))
+        assert len(matches) == 1
+
+    def test_nested_pattern(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union (Translate 1 2 3 Cube) (Translate 1 2 3 Sphere))"))
+        pattern = parse_pattern("(Union (Translate ?x ?y ?z ?a) (Translate ?x ?y ?z ?b))")
+        matches = search(egraph, pattern)
+        assert len(matches) == 1
+
+    def test_mismatched_vectors_do_not_match(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union (Translate 1 2 3 Cube) (Translate 9 2 3 Sphere))"))
+        pattern = parse_pattern("(Union (Translate ?x ?y ?z ?a) (Translate ?x ?y ?z ?b))")
+        assert search(egraph, pattern) == []
+
+    def test_instantiate_adds_term(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union Cube Sphere)"))
+        matches = search(egraph, parse_pattern("(Union ?a ?b)"))
+        _, substitution = matches[0]
+        new_id = instantiate(egraph, parse_pattern("(Inter ?b ?a)"), substitution)
+        assert egraph.lookup_term(Term.parse("(Inter Sphere Cube)")) == egraph.find(new_id)
+
+
+class TestRewrites:
+    def test_syntactic_rewrite_merges(self):
+        egraph = EGraph()
+        root = egraph.add_term(Term.parse("(Union Cube Empty)"))
+        rule = rewrite("union-empty", "(Union ?x Empty)", "?x")
+        assert rule.run(egraph) == 1
+        egraph.rebuild()
+        assert egraph.is_equal(root, egraph.lookup_term(Term("Cube")))
+
+    def test_rewrite_is_nondestructive(self):
+        egraph = EGraph()
+        root = egraph.add_term(Term.parse("(Union Cube Empty)"))
+        rewrite("union-empty", "(Union ?x Empty)", "?x").run(egraph)
+        egraph.rebuild()
+        ops = {node.op for node in egraph.nodes(root)}
+        assert "Union" in ops and "Cube" in ops
+
+    def test_guard_blocks_firing(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union Cube Empty)"))
+        rule = rewrite(
+            "guarded", "(Union ?x Empty)", "?x", guard=lambda eg, cid, sub: False
+        )
+        assert rule.run(egraph) == 0
+
+    def test_dynamic_rewrite(self):
+        egraph = EGraph()
+        root = egraph.add_term(Term.parse("(Add 1 2)"))
+
+        def applier(eg, class_id, substitution):
+            values = []
+            for name in ("a", "b"):
+                for node in eg.nodes(substitution[name]):
+                    if isinstance(node.op, (int, float)):
+                        values.append(node.op)
+            return eg.add_enode(ENode(float(sum(values))))
+
+        rule = dynamic_rewrite("const-fold", "(Add ?a ?b)", applier)
+        assert rule.run(egraph) == 1
+        egraph.rebuild()
+        assert egraph.is_equal(root, egraph.lookup_term(Term.num(3.0)))
+
+    def test_dynamic_rewrite_returning_none_is_noop(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Add 1 2)"))
+        rule = dynamic_rewrite("skip", "(Add ?a ?b)", lambda eg, cid, sub: None)
+        assert rule.run(egraph) == 0
+
+
+class TestRunner:
+    def test_saturation(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union (Union Cube Empty) Empty)"))
+        runner = Runner([rewrite("union-empty", "(Union ?x Empty)", "?x")])
+        report = runner.run(egraph)
+        assert report.stop_reason == StopReason.SATURATED
+        assert report.iteration_count >= 2
+
+    def test_iteration_limit(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union (Union Cube Empty) Empty)"))
+        # Saturation needs at least two iterations; cap the runner at one.
+        runner = Runner(
+            [rewrite("union-empty", "(Union ?x Empty)", "?x")],
+            RunnerLimits(max_iterations=1, max_enodes=10_000, max_seconds=10.0),
+        )
+        report = runner.run(egraph)
+        assert report.stop_reason == StopReason.ITERATION_LIMIT
+        assert report.iteration_count == 1
+
+    def test_firings_recorded(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union Cube Empty)"))
+        runner = Runner([rewrite("union-empty", "(Union ?x Empty)", "?x")])
+        report = runner.run(egraph)
+        assert report.total_firings >= 1
+        assert "union-empty" in report.iterations[0].firings
+
+
+class TestExtraction:
+    def test_extractor_picks_smaller_variant(self):
+        egraph = EGraph()
+        root = egraph.add_term(Term.parse("(Union Cube Empty)"))
+        rewrite("union-empty", "(Union ?x Empty)", "?x").run(egraph)
+        egraph.rebuild()
+        assert Extractor(egraph, ast_size_cost).extract(root) == Term("Cube")
+
+    def test_extractor_cost(self):
+        egraph = EGraph()
+        root = egraph.add_term(Term.parse("(Union Cube Sphere)"))
+        assert Extractor(egraph, ast_size_cost).cost_of(root) == 3.0
+
+    def test_top_k_orders_by_cost(self):
+        egraph = EGraph()
+        root = egraph.add_term(Term.parse("(Union Cube Empty)"))
+        rewrite("union-empty", "(Union ?x Empty)", "?x").run(egraph)
+        egraph.rebuild()
+        entries = TopKExtractor(egraph, ast_size_cost, k=3).extract_top_k(root)
+        assert entries[0].term == Term("Cube")
+        assert entries[0].cost < entries[-1].cost
+        assert len(entries) >= 2
+
+    def test_top_k_distinct_terms(self):
+        egraph = EGraph()
+        root = egraph.add_term(Term.parse("(Union Cube Sphere)"))
+        entries = TopKExtractor(egraph, ast_size_cost, k=5).extract_top_k(root)
+        assert len({entry.term for entry in entries}) == len(entries)
+
+    def test_top_k_respects_roots_restriction(self):
+        egraph = EGraph()
+        root = egraph.add_term(Term.parse("(Union Cube Sphere)"))
+        egraph.add_term(Term.parse("(Inter A B)"))  # unreachable from root
+        extractor = TopKExtractor(egraph, ast_size_cost, k=2, roots=[root])
+        assert extractor.extract_top_k(root)[0].term == Term.parse("(Union Cube Sphere)")
+
+    def test_extraction_with_cycle(self):
+        # x = Union(x, x) cycle: extraction must still terminate and return x.
+        egraph = EGraph()
+        x = egraph.add_leaf("X")
+        union = egraph.add_enode(ENode("Union", (x, x)))
+        egraph.merge(union, x)
+        egraph.rebuild()
+        assert Extractor(egraph, ast_size_cost).extract(x) == Term("X")

@@ -1,0 +1,116 @@
+"""Unit tests for the s-expression reader and printer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang.sexp import SexpError, format_sexp, parse_many, parse_sexp
+
+
+class TestParsing:
+    def test_atom_symbol(self):
+        assert parse_sexp("Cube") == "Cube"
+
+    def test_atom_int(self):
+        assert parse_sexp("42") == 42
+        assert isinstance(parse_sexp("42"), int)
+
+    def test_atom_float(self):
+        assert parse_sexp("2.5") == 2.5
+        assert isinstance(parse_sexp("2.5"), float)
+
+    def test_negative_numbers(self):
+        assert parse_sexp("-3") == -3
+        assert parse_sexp("-3.75") == -3.75
+
+    def test_scientific_notation(self):
+        assert parse_sexp("1e-3") == pytest.approx(0.001)
+
+    def test_simple_list(self):
+        assert parse_sexp("(Union Cube Sphere)") == ["Union", "Cube", "Sphere"]
+
+    def test_nested_list(self):
+        parsed = parse_sexp("(Translate 1 2 3 (Scale 4 5 6 Cube))")
+        assert parsed == ["Translate", 1, 2, 3, ["Scale", 4, 5, 6, "Cube"]]
+
+    def test_whitespace_and_newlines(self):
+        parsed = parse_sexp("(Union\n  Cube\t Sphere)")
+        assert parsed == ["Union", "Cube", "Sphere"]
+
+    def test_comments_ignored(self):
+        parsed = parse_sexp("; a comment\n(Union Cube Sphere) ; trailing")
+        assert parsed == ["Union", "Cube", "Sphere"]
+
+    def test_parse_many(self):
+        assert parse_many("Cube Sphere (Union A B)") == ["Cube", "Sphere", ["Union", "A", "B"]]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SexpError):
+            parse_sexp("")
+
+    def test_multiple_top_level_rejected(self):
+        with pytest.raises(SexpError):
+            parse_sexp("Cube Sphere")
+
+    def test_unbalanced_open_rejected(self):
+        with pytest.raises(SexpError):
+            parse_sexp("(Union Cube")
+
+    def test_unbalanced_close_rejected(self):
+        with pytest.raises(SexpError):
+            parse_sexp("Union Cube)")
+
+    def test_error_reports_position(self):
+        with pytest.raises(SexpError) as excinfo:
+            parse_sexp("(Union Cube))")
+        assert "line" in str(excinfo.value)
+
+
+class TestFormatting:
+    def test_atom(self):
+        assert format_sexp("Cube") == "Cube"
+
+    def test_integer(self):
+        assert format_sexp(7) == "7"
+
+    def test_integral_float_keeps_decimal(self):
+        assert format_sexp(2.0) == "2.0"
+
+    def test_flat_list(self):
+        assert format_sexp(["Union", "Cube", "Sphere"]) == "(Union Cube Sphere)"
+
+    def test_width_triggers_break(self):
+        sexp = ["Union"] + [f"child{i}" for i in range(20)]
+        rendered = format_sexp(sexp, width=30)
+        assert "\n" in rendered
+        assert rendered.startswith("(Union")
+
+    def test_round_trip_nested(self):
+        text = "(Translate 1 2 3 (Scale 4.5 5 6 Cube))"
+        assert parse_sexp(format_sexp(parse_sexp(text))) == parse_sexp(text)
+
+
+_atoms = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    st.sampled_from(["Cube", "Union", "Translate", "x", "Tooth", "abc-def"]),
+)
+
+_sexps = st.recursive(
+    _atoms, lambda children: st.lists(children, min_size=1, max_size=4), max_leaves=25
+)
+
+
+@given(_sexps)
+def test_format_parse_round_trip(sexp):
+    """Formatting then parsing returns an equal s-expression (property)."""
+    rendered = format_sexp(sexp)
+    reparsed = parse_sexp(rendered)
+
+    def equal(a, b):
+        if isinstance(a, list) and isinstance(b, list):
+            return len(a) == len(b) and all(equal(x, y) for x, y in zip(a, b))
+        if isinstance(a, float) or isinstance(b, float):
+            return float(a) == pytest.approx(float(b), rel=1e-12, abs=1e-12)
+        return a == b
+
+    assert equal(sexp, reparsed)

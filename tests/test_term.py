@@ -1,0 +1,144 @@
+"""Unit tests for the generic Term representation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang.term import Term, TermError, make, nums
+
+
+class TestConstruction:
+    def test_leaf(self):
+        term = Term("Cube")
+        assert term.is_leaf
+        assert not term.is_number
+        assert term.op == "Cube"
+
+    def test_numeric_leaf(self):
+        term = Term.num(2.5)
+        assert term.is_number
+        assert term.value == 2.5
+
+    def test_children_stored_as_tuple(self):
+        term = make("Union", Term("Cube"), Term("Sphere"))
+        assert isinstance(term.children, tuple)
+        assert len(term) == 2
+
+    def test_numeric_with_children_rejected(self):
+        with pytest.raises(TermError):
+            Term(3, (Term("Cube"),))
+
+    def test_boolean_operator_rejected(self):
+        with pytest.raises(TermError):
+            Term(True)
+
+    def test_non_term_child_rejected(self):
+        with pytest.raises(TermError):
+            Term("Union", ("Cube",))  # type: ignore[arg-type]
+
+    def test_immutability(self):
+        term = Term("Cube")
+        with pytest.raises(AttributeError):
+            term.op = "Sphere"  # type: ignore[misc]
+
+    def test_nums_helper(self):
+        assert [t.value for t in nums([1, 2.5, 3])] == [1, 2.5, 3]
+
+
+class TestStructuralQueries:
+    def setup_method(self):
+        self.term = make(
+            "Union",
+            make("Translate", *nums([1, 2, 3]), Term("Cube")),
+            Term("Sphere"),
+        )
+
+    def test_size(self):
+        # Union + Translate + 3 numbers + Cube + Sphere = 7
+        assert self.term.size() == 7
+
+    def test_depth(self):
+        assert self.term.depth() == 3
+
+    def test_count(self):
+        assert self.term.count("Cube") == 1
+        assert self.term.count("Union") == 1
+        assert self.term.count("Missing") == 0
+
+    def test_operators(self):
+        assert {"Union", "Translate", "Cube", "Sphere"} <= self.term.operators()
+
+    def test_subterms_preorder(self):
+        ops = [t.op for t in self.term.subterms()]
+        assert ops[0] == "Union"
+        assert ops[1] == "Translate"
+        assert "Sphere" in ops
+
+    def test_map_bottom_up(self):
+        def rename(node: Term) -> Term:
+            if node.op == "Cube":
+                return Term("Sphere")
+            return node
+
+        renamed = self.term.map_bottom_up(rename)
+        assert renamed.count("Cube") == 0
+        assert renamed.count("Sphere") == 2
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        a = make("Union", Term("Cube"), Term("Sphere"))
+        b = make("Union", Term("Cube"), Term("Sphere"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert make("Union", Term("Cube"), Term("Sphere")) != make(
+            "Union", Term("Sphere"), Term("Cube")
+        )
+
+    def test_usable_in_sets(self):
+        a = make("Union", Term("Cube"), Term("Sphere"))
+        b = make("Union", Term("Cube"), Term("Sphere"))
+        assert len({a, b}) == 1
+
+
+class TestConversion:
+    def test_to_sexp_round_trip(self):
+        term = make("Translate", *nums([1, 2, 3]), Term("Cube"))
+        assert Term.from_sexp(term.to_sexp()) == term
+
+    def test_parse(self):
+        term = Term.parse("(Union (Translate 1 2 3 Cube) Sphere)")
+        assert term.op == "Union"
+        assert term.children[0].op == "Translate"
+
+    def test_parse_rejects_empty_list(self):
+        with pytest.raises(TermError):
+            Term.from_sexp([])
+
+    def test_str_is_single_line(self):
+        term = make("Union", Term("Cube"), Term("Sphere"))
+        assert "\n" not in str(term)
+
+
+_term_strategy = st.deferred(
+    lambda: st.one_of(
+        st.sampled_from(["Cube", "Sphere", "Unit", "x"]).map(Term),
+        st.floats(min_value=-100, max_value=100, allow_nan=False).map(Term.num),
+        st.tuples(
+            st.sampled_from(["Union", "Diff", "Inter"]), _term_strategy, _term_strategy
+        ).map(lambda t: Term(t[0], (t[1], t[2]))),
+    )
+)
+
+
+@given(_term_strategy)
+def test_sexp_round_trip_property(term):
+    """Any term survives a to_sexp / from_sexp round trip."""
+    assert Term.from_sexp(term.to_sexp()) == term
+
+
+@given(_term_strategy)
+def test_size_at_least_depth(term):
+    """Node count is always at least the depth (property)."""
+    assert term.size() >= term.depth()

@@ -1,0 +1,116 @@
+"""Unit tests for the translation-validation layer."""
+
+import pytest
+
+from repro.cad.build import fold_union, fun, mapi, repeat, translate_expr, mul, add
+from repro.csg.build import cube, cylinder, diff, rotate, scale, sphere, translate, union, union_all
+from repro.lang.term import Term
+from repro.verify.geometric import geometrically_equivalent, occupancy_agreement
+from repro.verify.structural import equivalent_modulo_reordering, terms_equal_modulo_epsilon
+from repro.verify.validate import validate_synthesis
+
+
+class TestStructuralEquivalence:
+    def test_exact_equality(self):
+        a = union(cube(), sphere())
+        assert terms_equal_modulo_epsilon(a, a)
+
+    def test_epsilon_on_numbers(self):
+        a = translate(1.0, 2.0, 3.0, cube())
+        b = translate(1.0000004, 2.0, 3.0, cube())
+        assert terms_equal_modulo_epsilon(a, b, epsilon=1e-6)
+        assert not terms_equal_modulo_epsilon(a, b, epsilon=1e-9)
+
+    def test_different_shape_rejected(self):
+        assert not terms_equal_modulo_epsilon(union(cube(), sphere()), cube())
+
+    def test_reordering_accepted_for_union(self):
+        a = union_all([translate(float(i), 0, 0, cube()) for i in range(4)])
+        b = union_all([translate(float(i), 0, 0, cube()) for i in reversed(range(4))])
+        assert not terms_equal_modulo_epsilon(a, b)
+        assert equivalent_modulo_reordering(a, b)
+
+    def test_reordering_respects_multiplicity(self):
+        a = union(cube(), union(cube(), sphere()))
+        b = union(cube(), union(sphere(), sphere()))
+        assert not equivalent_modulo_reordering(a, b)
+
+    def test_diff_sides_not_swappable(self):
+        a = diff(cube(), sphere())
+        b = diff(sphere(), cube())
+        assert not equivalent_modulo_reordering(a, b)
+
+    def test_reassociation_accepted(self):
+        a = union(union(cube(), sphere()), cylinder())
+        b = union(cube(), union(sphere(), cylinder()))
+        assert equivalent_modulo_reordering(a, b)
+
+
+class TestGeometricEquivalence:
+    def test_identical_solids(self):
+        term = diff(scale(4, 4, 4, cube()), sphere())
+        assert geometrically_equivalent(term, term, resolution=12)
+
+    def test_collapsed_transform_equivalent(self):
+        a = translate(1, 2, 3, translate(4, 5, 6, cube()))
+        b = translate(5, 7, 9, cube())
+        assert geometrically_equivalent(a, b, resolution=12)
+
+    def test_different_solids_rejected(self):
+        a = scale(4, 4, 4, cube())
+        b = scale(2, 2, 2, cube())
+        assert not geometrically_equivalent(a, b, resolution=12)
+
+    def test_report_fields(self):
+        report = occupancy_agreement(cube(), cube(), resolution=8)
+        assert report.agreement == 1.0
+        assert report.hausdorff == pytest.approx(0.0, abs=1e-6)
+        assert report.points_a == report.points_b > 0
+
+
+class TestValidateSynthesis:
+    def test_valid_structured_program(self):
+        flat = union_all([translate(2.0 * (i + 1), 0, 0, cube()) for i in range(5)])
+        program = fold_union(
+            mapi(
+                fun(("i", "c"), translate_expr(mul(2.0, add(Term("i"), 1)), 0, 0, Term("c"))),
+                repeat(cube(), 5),
+            )
+        )
+        result = validate_synthesis(flat, program)
+        assert result.valid
+        assert result.exact_match or result.reorder_match
+
+    def test_wrong_count_detected(self):
+        flat = union_all([translate(2.0 * (i + 1), 0, 0, cube()) for i in range(5)])
+        wrong = fold_union(
+            mapi(
+                fun(("i", "c"), translate_expr(mul(2.0, add(Term("i"), 1)), 0, 0, Term("c"))),
+                repeat(cube(), 4),
+            )
+        )
+        result = validate_synthesis(flat, wrong)
+        assert not result.valid
+
+    def test_wrong_function_detected(self):
+        flat = union_all([translate(2.0 * (i + 1), 0, 0, cube()) for i in range(5)])
+        wrong = fold_union(
+            mapi(
+                fun(("i", "c"), translate_expr(mul(3.0, add(Term("i"), 1)), 0, 0, Term("c"))),
+                repeat(cube(), 5),
+            )
+        )
+        result = validate_synthesis(flat, wrong)
+        assert not result.valid
+
+    def test_unrollable_error_reported(self):
+        flat = cube()
+        bogus = Term("Fold", (Term.num(3), Term("Empty"), Term("Nil")))
+        result = validate_synthesis(flat, bogus)
+        assert not result.valid
+        assert result.error is not None
+
+    def test_identity_program(self):
+        flat = diff(scale(4, 4, 4, cube()), rotate(0, 0, 30, cube()))
+        result = validate_synthesis(flat, flat)
+        assert result.valid and result.exact_match
