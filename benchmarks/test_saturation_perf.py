@@ -1,0 +1,292 @@
+"""Saturation-engine performance: two-phase runner + worklist extraction.
+
+Compares the current engine against a faithful copy of the *seed* engine on
+the largest bundled benchmark model (the 60-tooth spur gear, 861 AST nodes)
+with the full rule database including the expansive boolean rules:
+
+* **seed loop** — rules run interleaved (each searches and immediately
+  applies), node/time limits are checked only once per iteration, and top-k
+  extraction is a whole-graph fixpoint that materializes ``Term`` objects
+  for every class in every round;
+* **two-phase loop** — all rules search a frozen rebuilt graph, matches are
+  applied in a batch with limits enforced between applications, a backoff
+  scheduler bans rules whose match counts explode, and extraction runs a
+  parent-driven worklist over a DAG candidate table.
+
+Both sides get the *same* node budget.  The seed loop cannot actually honor
+it — the budget check runs only after a full interleaved iteration, by which
+point the expansive rules have blown the graph up several-fold — and it then
+pays again during extraction, which scales with the bloated graph.  The
+assertions require the two-phase engine to (a) stay within a small factor of
+the budget, (b) reach the same best extraction cost, and (c) be at least 2x
+faster end to end.  Timings are recorded in ``BENCH_saturation.json`` at the
+repository root.
+
+The speedup assertion is this change's acceptance gate and intentionally
+runs in the default collection; the measured margin is ~3x, but on a heavily
+loaded machine wall-clock ratios can wobble — CI runs this file in a
+non-blocking job for that reason.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.benchsuite.models import gear_model
+from repro.core.rules import all_rules, default_rules
+from repro.egraph.egraph import EGraph
+from repro.egraph.extract import TopKExtractor, ast_size_cost
+from repro.egraph.runner import BackoffConfig, Runner, RunnerLimits
+from repro.lang.term import Term
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_saturation.json"
+
+#: The speedup the two-phase engine must demonstrate over the seed loop.
+REQUIRED_SPEEDUP = 2.0
+
+
+# ---------------------------------------------------------------------------
+# Frozen copies of the seed engine (the baseline being measured against).
+# ---------------------------------------------------------------------------
+
+
+class SeedRunner:
+    """The seed saturation loop: interleaved rules, per-iteration limit checks."""
+
+    def __init__(self, rules, limits: RunnerLimits):
+        self.rules = list(rules)
+        self.limits = limits
+
+    def run(self, egraph: EGraph) -> str:
+        start = time.perf_counter()
+        for _ in range(self.limits.max_iterations):
+            version_before = egraph.version
+            for rule in self.rules:
+                rule.run(egraph)  # search + apply, immediately visible to later rules
+            egraph.rebuild()
+            if egraph.version == version_before:
+                return "saturated"
+            if egraph.total_enodes > self.limits.max_enodes:
+                return "node-limit"
+            if time.perf_counter() - start > self.limits.max_seconds:
+                return "time-limit"
+        return "iteration-limit"
+
+
+class SeedTopKExtractor:
+    """The seed top-k extraction: whole-graph fixpoint over materialized terms."""
+
+    def __init__(self, egraph, cost_function, k=5, max_rounds=1000, roots=None):
+        self.egraph = egraph
+        self.cost_function = cost_function
+        self.k = k
+        self.max_rounds = max_rounds
+        self._table = {}
+        self._restrict = self._reachable(roots) if roots is not None else None
+        self._compute()
+
+    def _reachable(self, roots):
+        seen, stack = set(), [self.egraph.find(r) for r in roots]
+        while stack:
+            class_id = stack.pop()
+            if class_id in seen:
+                continue
+            seen.add(class_id)
+            for enode in self.egraph.nodes(class_id):
+                for arg in enode.args:
+                    arg = self.egraph.find(arg)
+                    if arg not in seen:
+                        stack.append(arg)
+        return seen
+
+    def _compute(self):
+        for _ in range(self.max_rounds):
+            changed = False
+            for eclass in self.egraph.classes():
+                class_id = self.egraph.find(eclass.id)
+                if self._restrict is not None and class_id not in self._restrict:
+                    continue
+                candidates = {t: c for (c, t) in self._table.get(class_id, [])}
+                for enode in eclass.nodes:
+                    for cost, term in self._enode_candidates(enode):
+                        previous = candidates.get(term)
+                        if previous is None or cost < previous:
+                            candidates[term] = cost
+                ranked = sorted(
+                    ((c, t) for t, c in candidates.items()), key=lambda r: r[0]
+                )[: self.k]
+                if ranked != self._table.get(class_id, []):
+                    self._table[class_id] = ranked
+                    changed = True
+            if not changed:
+                break
+
+    def _enode_candidates(self, enode) -> List[Tuple[float, Term]]:
+        if not enode.args:
+            return [(self.cost_function(enode.op, ()), Term(enode.op))]
+        child_lists = []
+        for arg in enode.args:
+            entries = self._table.get(self.egraph.find(arg))
+            if not entries:
+                return []
+            child_lists.append(entries)
+        results = []
+        for indices in self._bounded_index_tuples([len(c) for c in child_lists]):
+            chosen = [child_lists[i][j] for i, j in enumerate(indices)]
+            cost = self.cost_function(enode.op, [c[0] for c in chosen])
+            results.append((cost, Term(enode.op, tuple(c[1] for c in chosen))))
+        return results
+
+    def _bounded_index_tuples(self, lengths):
+        budget, results = self.k - 1, []
+
+        def go(position, remaining, prefix):
+            if position == len(lengths):
+                results.append(prefix)
+                return
+            limit = min(lengths[position] - 1, remaining)
+            for index in range(limit + 1):
+                go(position + 1, remaining - index, prefix + (index,))
+
+        go(0, budget, ())
+        return results
+
+    def best_cost(self, class_id) -> Optional[float]:
+        entries = self._table.get(self.egraph.find(class_id))
+        return entries[0][0] if entries else None
+
+
+# ---------------------------------------------------------------------------
+# Measurement helpers
+# ---------------------------------------------------------------------------
+
+
+def _measure_seed(model: Term, rules, limits: RunnerLimits) -> dict:
+    egraph = EGraph()
+    root = egraph.add_term(model)
+    start = time.perf_counter()
+    stop = SeedRunner(rules, limits).run(egraph)
+    saturated = time.perf_counter()
+    extractor = SeedTopKExtractor(egraph, ast_size_cost, k=5, roots=[root])
+    done = time.perf_counter()
+    return {
+        "engine": "seed",
+        "stop_reason": stop,
+        "saturate_seconds": saturated - start,
+        "extract_seconds": done - saturated,
+        "total_seconds": done - start,
+        "enodes": egraph.total_enodes,
+        "classes": len(egraph),
+        "best_cost": extractor.best_cost(root),
+    }
+
+
+def _measure_two_phase(
+    model: Term, rules, limits: RunnerLimits, backoff: BackoffConfig
+) -> dict:
+    egraph = EGraph()
+    root = egraph.add_term(model)
+    start = time.perf_counter()
+    report = Runner(rules, limits, backoff=backoff).run(egraph)
+    saturated = time.perf_counter()
+    extractor = TopKExtractor(egraph, ast_size_cost, k=5, roots=[root])
+    best = extractor.extract_top_k(root)[0]
+    done = time.perf_counter()
+    return {
+        "engine": "two-phase",
+        "stop_reason": report.stop_reason.value,
+        "saturate_seconds": saturated - start,
+        "extract_seconds": done - saturated,
+        "total_seconds": done - start,
+        "enodes": egraph.total_enodes,
+        "classes": len(egraph),
+        "best_cost": best.cost,
+        "iterations": [
+            {
+                "index": it.index,
+                "matches": sum(it.matches.values()),
+                "firings": it.total_firings,
+                "banned": it.banned,
+                "enodes_after": it.enodes_after,
+                "search_seconds": it.search_seconds,
+                "apply_seconds": it.apply_seconds,
+                "rebuild_seconds": it.rebuild_seconds,
+            }
+            for it in report.iterations
+        ],
+    }
+
+
+def _record(payload: dict) -> None:
+    existing = {}
+    if BENCH_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PATH.read_text())
+        except (OSError, ValueError):
+            existing = {}
+    existing.update(payload)
+    BENCH_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.figure
+def test_two_phase_engine_at_least_2x_faster_than_seed_loop():
+    """Seed loop vs two-phase loop on the gear with an enforced node budget."""
+    model = gear_model()
+    rules = all_rules()  # includes the expansive boolean rules
+    limits = RunnerLimits(max_iterations=12, max_enodes=5_000, max_seconds=30.0)
+    backoff = BackoffConfig(match_limit=1_000, ban_length=5)
+
+    seed = _measure_seed(model, rules, limits)
+    two_phase = _measure_two_phase(model, rules, limits, backoff)
+    speedup = seed["total_seconds"] / max(two_phase["total_seconds"], 1e-9)
+
+    _record(
+        {
+            "model": "3362402:gear",
+            "model_nodes": model.size(),
+            "node_budget": limits.max_enodes,
+            "seed": seed,
+            "two_phase": two_phase,
+            "speedup": speedup,
+        }
+    )
+
+    # Same extraction quality out of both engines.
+    assert two_phase["best_cost"] == seed["best_cost"]
+    # The seed loop blows straight through the budget (limits are only
+    # checked between iterations); the two-phase loop must respect it up to
+    # a single application's worth of overshoot.
+    assert seed["enodes"] > limits.max_enodes
+    assert two_phase["enodes"] <= limits.max_enodes + 100
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"two-phase engine only {speedup:.2f}x faster than the seed loop "
+        f"(seed {seed['total_seconds']:.2f}s vs {two_phase['total_seconds']:.2f}s)"
+    )
+
+
+@pytest.mark.figure
+def test_two_phase_engine_parity_on_default_rules():
+    """With the paper's default rule set both engines find the same best."""
+    model = gear_model()
+    limits = RunnerLimits(max_iterations=8, max_enodes=200_000, max_seconds=60.0)
+
+    seed = _measure_seed(model, default_rules(), limits)
+    two_phase = _measure_two_phase(
+        model, default_rules(), limits, BackoffConfig()
+    )
+
+    _record({"default_rules": {"seed": seed, "two_phase": two_phase}})
+
+    assert two_phase["best_cost"] == seed["best_cost"]
+    # No bans expected at the default threshold.
+    assert all(not it["banned"] for it in two_phase["iterations"])

@@ -11,7 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Tuple
 
+from repro.egraph.runner import BackoffConfig
 from repro.solvers.closed_form import SolverConfig
+
+#: The engine's scheduler defaults; mirrored here so SynthesisConfig and
+#: Runner cannot drift apart.
+_DEFAULT_BACKOFF = BackoffConfig()
 
 
 @dataclass(frozen=True)
@@ -39,6 +44,14 @@ class SynthesisConfig:
     rewrite_iterations: int = 12
     max_enodes: int = 200_000
     max_seconds: float = 60.0
+
+    #: Backoff-scheduler knobs of the two-phase runner: a rule producing more
+    #: than ``rule_match_limit`` matches in one search phase is banned for
+    #: ``rule_ban_length`` iterations, and both double on every re-offence.
+    #: The default threshold is high enough that the paper's benchmark suite
+    #: never triggers a ban; lower it to tame expansive rule sets.
+    rule_match_limit: int = _DEFAULT_BACKOFF.match_limit
+    rule_ban_length: int = _DEFAULT_BACKOFF.ban_length
 
     #: Rule categories to enable (see :func:`repro.core.rules.rules_by_category`).
     rule_categories: Tuple[str, ...] = (

@@ -28,7 +28,7 @@ from repro.core.rules import default_rules
 from repro.csg.metrics import TermMetrics, measure
 from repro.egraph.egraph import EGraph
 from repro.egraph.extract import TopKExtractor
-from repro.egraph.runner import Runner, RunnerLimits, RunReport
+from repro.egraph.runner import BackoffConfig, Runner, RunnerLimits, RunReport
 from repro.lang.term import Term
 
 
@@ -138,12 +138,16 @@ def synthesize(
         max_enodes=config.max_enodes,
         max_seconds=config.max_seconds,
     )
+    backoff = BackoffConfig(
+        match_limit=config.rule_match_limit,
+        ban_length=config.rule_ban_length,
+    )
 
     inference_records: List[InferenceRecord] = []
     run_reports: List[RunReport] = []
 
     for _ in range(max(1, config.main_iterations)):
-        runner = Runner(rule_set, limits)
+        runner = Runner(rule_set, limits, backoff=backoff)
         run_reports.append(runner.run(egraph))
 
         changed = False

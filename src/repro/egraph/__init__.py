@@ -11,16 +11,25 @@ It provides:
   e-matching;
 * :mod:`repro.egraph.rewrite` — rewrite rules (pattern → pattern, or pattern
   → programmatic applier) in the style of Section 3.2;
-* :mod:`repro.egraph.runner` — the saturation loop with fuel / node limits;
-* :mod:`repro.egraph.extract` — cost-based extraction and top-k extraction
-  (Section 5.1).
+* :mod:`repro.egraph.runner` — the batched two-phase saturation loop with a
+  per-rule backoff scheduler and fuel / node / time limits enforced inside
+  the apply phase;
+* :mod:`repro.egraph.extract` — worklist-based cost extraction and
+  DAG-memoized top-k extraction (Section 5.1).
 """
 
 from repro.egraph.unionfind import UnionFind
 from repro.egraph.egraph import EGraph, ENode, EClass
 from repro.egraph.pattern import Pattern, PatternVar, parse_pattern, Substitution
-from repro.egraph.rewrite import Rewrite, rewrite, DynamicRewrite
-from repro.egraph.runner import Runner, RunnerLimits, RunReport, StopReason
+from repro.egraph.rewrite import Rewrite, RewriteMatch, rewrite, DynamicRewrite
+from repro.egraph.runner import (
+    BackoffConfig,
+    BackoffScheduler,
+    Runner,
+    RunnerLimits,
+    RunReport,
+    StopReason,
+)
 from repro.egraph.extract import Extractor, TopKExtractor, ast_size_cost
 
 __all__ = [
@@ -33,8 +42,11 @@ __all__ = [
     "parse_pattern",
     "Substitution",
     "Rewrite",
+    "RewriteMatch",
     "rewrite",
     "DynamicRewrite",
+    "BackoffConfig",
+    "BackoffScheduler",
     "Runner",
     "RunnerLimits",
     "RunReport",

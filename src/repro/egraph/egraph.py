@@ -93,6 +93,18 @@ class EGraph:
         """Total number of e-nodes across all e-classes."""
         return sum(len(c.nodes) for c in self._classes.values())
 
+    @property
+    def approx_enodes(self) -> int:
+        """An O(1) estimate of the e-node count (the hashcons size).
+
+        Exact immediately after :meth:`rebuild`; between rebuilds it may
+        include entries for nodes that congruence will later dedupe, which
+        makes it a safe (slightly conservative) bound for enforcing node
+        limits *inside* an apply loop, where calling :attr:`total_enodes`
+        per application would be quadratic.
+        """
+        return len(self._hashcons)
+
     def find(self, id_: int) -> int:
         """Canonical e-class id for ``id_``."""
         return self._union_find.find(id_)
@@ -124,8 +136,13 @@ class EGraph:
         ids = self._op_index.get(op)
         if not ids:
             return []
-        canonical = {self.find(i) for i in ids}
-        return [i for i in canonical if i in self._classes]
+        live = {self.find(i) for i in ids}
+        live.intersection_update(self._classes)
+        if live != ids:
+            # Prune in place so repeated queries between rebuilds do not keep
+            # re-canonicalizing the same stale ids.
+            self._op_index[op] = live
+        return list(live)
 
     # -- insertion ----------------------------------------------------------------
 
@@ -173,11 +190,18 @@ class EGraph:
 
         Returns the surviving canonical id.  The actual invariant repair is
         deferred until :meth:`rebuild`.
+
+        Analysis data is merged shallowly with a deterministic policy: on a
+        key conflict the data of ``b`` (the second argument) wins, regardless
+        of which class ends up canonical.  Rewrites call ``merge(matched,
+        new)``, so the value attached to the freshly constructed class — the
+        "later writer" — is the one that survives.
         """
         a_root = self.find(a)
         b_root = self.find(b)
         if a_root == b_root:
             return a_root
+        merged_data = {**self._classes[a_root].data, **self._classes[b_root].data}
         # Keep the class with more parents as canonical to move less data.
         if len(self._classes[a_root].parents) < len(self._classes[b_root].parents):
             a_root, b_root = b_root, a_root
@@ -187,9 +211,7 @@ class EGraph:
         gone_class = self._classes.pop(merged_away)
         keep_class.nodes.extend(gone_class.nodes)
         keep_class.parents.extend(gone_class.parents)
-        # Merge analysis data shallowly; later writers win.
-        for key, value in gone_class.data.items():
-            keep_class.data.setdefault(key, value)
+        keep_class.data = merged_data
         self._pending.append(keep)
         self.version += 1
         return keep
@@ -218,7 +240,6 @@ class EGraph:
         if eclass is None:
             return
         seen: Dict[ENode, int] = {}
-        new_parents: List[Tuple[ENode, int]] = []
         for parent_node, parent_id in eclass.parents:
             canonical_node = parent_node.canonicalize(self._union_find.find)
             parent_id = self.find(parent_id)
@@ -230,11 +251,19 @@ class EGraph:
             else:
                 seen[canonical_node] = parent_id
             self._hashcons[canonical_node] = self.find(seen[canonical_node])
-            new_parents.append((canonical_node, self.find(seen[canonical_node])))
-        # The class may have been merged away while repairing.
-        surviving = self._classes.get(self.find(class_id))
-        if surviving is not None:
-            surviving.parents = new_parents
+        # Deduplicated rewrite of the log: repeated merges into a hub class
+        # would otherwise grow its parents list with one entry per historical
+        # merge, which the worklist extractors then re-canonicalize per pop.
+        new_parents: List[Tuple[ENode, int]] = [
+            (node, self.find(owner)) for node, owner in seen.items()
+        ]
+        # Replace the log only while this class is still canonical.  If a
+        # congruence merge above folded it into another class, that class's
+        # parents log already absorbed ours via merge(); overwriting it with
+        # just our snapshot would drop the absorber's own parents (the raw
+        # combined log is merely stale, which readers canonicalize away).
+        if self.find(class_id) == class_id:
+            eclass.parents = new_parents
 
     def _rebuild_hashcons(self) -> None:
         """Fully re-canonicalize e-nodes, the hashcons, and class node lists."""
@@ -264,6 +293,25 @@ class EGraph:
             # repair round; recursion depth is bounded by the lattice of
             # merges.
             self.rebuild()
+
+    # -- parent queries ----------------------------------------------------------
+
+    def parent_enodes(self, class_id: int) -> List[Tuple[ENode, int]]:
+        """Canonicalized, de-duplicated parents of an e-class.
+
+        Returns ``(enode, owner_id)`` pairs: every e-node (with canonical
+        argument ids) that has ``class_id`` among its children, together with
+        the canonical id of the class that contains it.  The raw
+        :attr:`EClass.parents` list is an append-only log kept for
+        :meth:`rebuild`; this accessor is the read API the worklist extractor
+        uses to propagate cost improvements upward.
+        """
+        find = self._union_find.find
+        seen: Dict[Tuple[ENode, int], None] = {}
+        for parent_node, parent_id in self.eclass(class_id).parents:
+            key = (parent_node.canonicalize(find), find(parent_id))
+            seen[key] = None
+        return list(seen.keys())
 
     # -- conversions -------------------------------------------------------------
 

@@ -7,20 +7,27 @@ of AST nodes; the alternative ``reward-loops`` cost discounts ``Mapi`` nodes
 parameterization, Szalinski returns the top-k programs (Section 5.1) so the
 user can choose.
 
-Single-best extraction is the standard fixpoint dynamic program over
-e-classes.  Top-k extraction generalizes it: each e-class keeps a bounded
-list of its k cheapest *distinct* terms, and candidates for an e-node are
-formed by combining the children's lists (bounded cube-style so the work
-stays proportional to k).
+Both extractors are *worklist* algorithms driven by the e-graph's parent
+pointers rather than whole-graph fixpoints:
+
+* :class:`Extractor` (single best) seeds every leaf e-node and propagates
+  cost improvements upward through :meth:`EGraph.parent_enodes`; each
+  e-class is re-examined only when one of its children actually improved,
+  so the work is proportional to the number of cost changes instead of
+  ``O(passes x classes x nodes)``.
+* :class:`TopKExtractor` keeps, per e-class, a bounded *candidate table* of
+  ``(cost, e-node, child ranks)`` triples — a DAG representation that never
+  materializes :class:`~repro.lang.term.Term` objects inside the fixpoint.
+  Candidates for an e-node are formed by combining the children's tables
+  cube-pruning style (bounded index sums), and concrete terms are built
+  lazily, memoized per ``(class, rank)``, only when a query asks for them.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.egraph.egraph import EGraph, ENode
 from repro.lang.term import Term
@@ -39,7 +46,21 @@ class ExtractionError(RuntimeError):
 
 
 class Extractor:
-    """Single-best extraction by fixpoint over e-classes."""
+    """Single-best extraction via a parent-driven worklist.
+
+    Leaves are seeded with their intrinsic cost; whenever an e-class's best
+    cost improves, every parent e-node (via :meth:`EGraph.parent_enodes`) is
+    re-costed and its owning class updated.  Costs are bounded below and
+    strictly decrease on every update; directly self-referential e-nodes
+    that would undercut their own class's best (possible only for
+    non-monotone costs like ``reward-loops``) are rejected so the common
+    self-loop case stays well-founded.  Indirect cycles that undercut every
+    realizable term — constructible with a non-monotone cost and mutually
+    recursive classes — cannot be excluded locally; :meth:`extract` detects
+    them and raises :class:`ExtractionError` instead of recursing forever
+    (see ROADMAP for the lazy-k-best alternative that would rank only
+    realizable derivations).
+    """
 
     def __init__(self, egraph: EGraph, cost_function: CostFunction = ast_size_cost):
         self.egraph = egraph
@@ -48,29 +69,52 @@ class Extractor:
         self._compute()
 
     def _compute(self) -> None:
-        """Iterate to a fixpoint assigning each class its cheapest e-node."""
-        changed = True
-        while changed:
-            changed = False
-            for eclass in self.egraph.classes():
-                class_id = self.egraph.find(eclass.id)
-                for enode in eclass.nodes:
-                    cost = self._enode_cost(enode)
-                    if cost is None:
-                        continue
-                    current = self._best.get(class_id)
-                    if current is None or cost < current[0]:
-                        self._best[class_id] = (cost, enode)
-                        changed = True
+        find = self.egraph.find
+        worklist: deque = deque()
+        queued: Set[int] = set()
 
-    def _enode_cost(self, enode: ENode) -> Optional[float]:
+        def update(class_id: int, cost: float, enode: ENode) -> None:
+            current = self._best.get(class_id)
+            if current is None or cost < current[0]:
+                self._best[class_id] = (cost, enode)
+                if class_id not in queued:
+                    queued.add(class_id)
+                    worklist.append(class_id)
+
+        # Seed: every leaf e-node gives its class a first (finite) cost.
+        for eclass in self.egraph.classes():
+            class_id = find(eclass.id)
+            for enode in eclass.nodes:
+                if not enode.args:
+                    update(class_id, self.cost_function(enode.op, ()), enode)
+
+        # Propagate improvements to parents until no class changes.
+        while worklist:
+            class_id = worklist.popleft()
+            queued.discard(class_id)
+            for parent_node, parent_id in self.egraph.parent_enodes(class_id):
+                cost = self._enode_cost(parent_node, owner=parent_id)
+                if cost is not None:
+                    update(parent_id, cost, parent_node)
+
+    def _enode_cost(self, enode: ENode, owner: Optional[int] = None) -> Optional[float]:
+        child_classes = [self.egraph.find(arg) for arg in enode.args]
         child_costs = []
-        for arg in enode.args:
-            entry = self._best.get(self.egraph.find(arg))
+        for child in child_classes:
+            entry = self._best.get(child)
             if entry is None:
                 return None
             child_costs.append(entry[0])
-        return self.cost_function(enode.op, child_costs)
+        cost = self.cost_function(enode.op, child_costs)
+        # Well-foundedness guard (see class docstring): a self-referential
+        # e-node may only win if it costs strictly more than the entry it
+        # feeds on — otherwise extract() would recurse into itself.
+        if owner is not None and any(
+            child == owner and cost <= child_cost
+            for child, child_cost in zip(child_classes, child_costs)
+        ):
+            return None
+        return cost
 
     def cost_of(self, class_id: int) -> float:
         """The cost of the best term for ``class_id``."""
@@ -81,15 +125,28 @@ class Extractor:
 
     def extract(self, class_id: int) -> Term:
         """The cheapest term represented by ``class_id``."""
+        return self._extract(class_id, set())
+
+    def _extract(self, class_id: int, path: Set[int]) -> Term:
         class_id = self.egraph.find(class_id)
         entry = self._best.get(class_id)
         if entry is None:
             raise ExtractionError(f"no extractable term for e-class {class_id}")
-        _, enode = entry
-        return Term(enode.op, tuple(self.extract(arg) for arg in enode.args))
+        if class_id in path:
+            raise ExtractionError(
+                f"cyclic best derivation for e-class {class_id}: the cost "
+                "function is non-monotone and an equivalence cycle undercuts "
+                "every realizable term"
+            )
+        path.add(class_id)
+        try:
+            _, enode = entry
+            return Term(enode.op, tuple(self._extract(arg, path) for arg in enode.args))
+        finally:
+            path.discard(class_id)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RankedTerm:
     """A term together with its cost (and its rank after sorting)."""
 
@@ -97,8 +154,18 @@ class RankedTerm:
     term: Term
 
 
+#: One top-k table entry: (cost, root e-node, chosen rank per child).
+_Candidate = Tuple[float, ENode, Tuple[int, ...]]
+
+
 class TopKExtractor:
-    """Extraction of the k cheapest distinct terms per e-class."""
+    """Extraction of the k cheapest distinct terms per e-class.
+
+    The fixpoint operates entirely on the DAG-level candidate table; see the
+    module docstring.  ``max_rounds`` bounds how many times any single
+    e-class may be recomputed (a safety valve for non-monotone cost
+    functions, mirroring the round limit of the old whole-graph fixpoint).
+    """
 
     def __init__(
         self,
@@ -114,7 +181,8 @@ class TopKExtractor:
         self.cost_function = cost_function
         self.k = k
         self.max_rounds = max_rounds
-        self._table: Dict[int, List[RankedTerm]] = {}
+        self._entries: Dict[int, List[_Candidate]] = {}
+        self._term_memo: Dict[Tuple[int, int], Optional[RankedTerm]] = {}
         self._restrict = self._reachable(roots) if roots is not None else None
         self._compute()
 
@@ -137,53 +205,80 @@ class TopKExtractor:
     # -- fixpoint ---------------------------------------------------------------
 
     def _compute(self) -> None:
-        for _ in range(self.max_rounds):
-            changed = False
-            for eclass in self.egraph.classes():
-                class_id = self.egraph.find(eclass.id)
-                if self._restrict is not None and class_id not in self._restrict:
-                    continue
-                candidates: Dict[Term, float] = {
-                    entry.term: entry.cost for entry in self._table.get(class_id, [])
-                }
-                for enode in eclass.nodes:
-                    for cost, term in self._enode_candidates(enode):
-                        previous = candidates.get(term)
-                        if previous is None or cost < previous:
-                            candidates[term] = cost
-                # Ties are broken by insertion order (deterministic for a
-                # given run); rendering terms for tie-breaking would dominate
-                # extraction time on large models.
-                ranked = sorted(
-                    (RankedTerm(cost, term) for term, cost in candidates.items()),
-                    key=lambda r: r.cost,
-                )[: self.k]
-                if ranked != self._table.get(class_id, []):
-                    self._table[class_id] = ranked
-                    changed = True
-            if not changed:
-                break
+        find = self.egraph.find
+        if self._restrict is not None:
+            class_ids = list(self._restrict)
+        else:
+            class_ids = [find(eclass.id) for eclass in self.egraph.classes()]
 
-    def _enode_candidates(self, enode: ENode) -> List[Tuple[float, Term]]:
-        """Candidate terms for one e-node from its children's current top-k."""
+        worklist: deque = deque(class_ids)
+        queued: Set[int] = set(class_ids)
+        recomputes: Dict[int, int] = {}
+
+        while worklist:
+            class_id = worklist.popleft()
+            queued.discard(class_id)
+            rounds = recomputes.get(class_id, 0)
+            if rounds >= self.max_rounds:
+                continue
+            recomputes[class_id] = rounds + 1
+            fresh = self._class_candidates(class_id)
+            if fresh == self._entries.get(class_id, []):
+                continue
+            self._entries[class_id] = fresh
+            for _parent_node, parent_id in self.egraph.parent_enodes(class_id):
+                if self._restrict is not None and parent_id not in self._restrict:
+                    continue
+                if parent_id not in queued:
+                    queued.add(parent_id)
+                    worklist.append(parent_id)
+
+    def _class_candidates(self, class_id: int) -> List[_Candidate]:
+        """The k cheapest candidates derivable from current child tables."""
+        candidates: Dict[Tuple[ENode, Tuple[int, ...]], float] = {}
+        for enode in self.egraph.nodes(class_id):
+            for cost, node, indices in self._enode_candidates(enode, class_id):
+                key = (node, indices)
+                previous = candidates.get(key)
+                if previous is None or cost < previous:
+                    candidates[key] = cost
+        # Ties are broken by insertion order (deterministic for a given run).
+        ranked = sorted(
+            ((cost, node, indices) for (node, indices), cost in candidates.items()),
+            key=lambda entry: entry[0],
+        )
+        return ranked[: self.k]
+
+    def _enode_candidates(self, enode: ENode, class_id: int) -> List[_Candidate]:
+        """Candidate entries for one e-node from its children's tables."""
         if not enode.args:
-            return [(self.cost_function(enode.op, ()), Term(enode.op))]
-        child_lists = []
-        for arg in enode.args:
-            entries = self._table.get(self.egraph.find(arg))
+            return [(self.cost_function(enode.op, ()), enode, ())]
+        child_classes = [self.egraph.find(arg) for arg in enode.args]
+        child_tables = []
+        for child in child_classes:
+            entries = self._entries.get(child)
             if not entries:
                 return []
-            child_lists.append(entries)
+            child_tables.append(entries)
         # Bounded combination: explore child choices whose index sum is small,
         # which covers the k cheapest combinations without a full product.
-        candidates: List[Tuple[float, Term]] = []
-        index_choices = self._bounded_index_tuples([len(c) for c in child_lists])
-        for indices in index_choices:
-            chosen = [child_lists[i][j] for i, j in enumerate(indices)]
-            cost = self.cost_function(enode.op, [c.cost for c in chosen])
-            term = Term(enode.op, tuple(c.term for c in chosen))
-            candidates.append((cost, term))
-        return candidates
+        results: List[_Candidate] = []
+        for indices in self._bounded_index_tuples([len(t) for t in child_tables]):
+            child_costs = [child_tables[i][j][0] for i, j in enumerate(indices)]
+            cost = self.cost_function(enode.op, child_costs)
+            # Well-foundedness guard: a candidate that refers back to its own
+            # class while costing no more than the entry it refers to (only
+            # possible for non-monotone costs like reward-loops' discount)
+            # would displace every realizable term with an unmaterializable
+            # self-loop; drop it.  Self-references that cost strictly more
+            # than their referent sort after it and stay materializable.
+            if any(
+                child == class_id and cost <= child_costs[i]
+                for i, child in enumerate(child_classes)
+            ):
+                continue
+            results.append((cost, enode, indices))
+        return results
 
     def _bounded_index_tuples(self, lengths: List[int]) -> List[Tuple[int, ...]]:
         """Index tuples with a bounded index sum (cube-pruning style)."""
@@ -201,14 +296,69 @@ class TopKExtractor:
         go(0, budget, ())
         return results
 
+    # -- term materialization -----------------------------------------------------
+
+    def _term_at(
+        self, class_id: int, rank: int, in_progress: Set[Tuple[int, int]]
+    ) -> Optional[RankedTerm]:
+        """Materialize the term for one table entry, memoized per (class, rank).
+
+        Returns None for out-of-range ranks and for self-referential entries
+        (a candidate whose derivation would revisit itself — possible only
+        for cost functions where a node can be cheaper than its child).
+        """
+        class_id = self.egraph.find(class_id)
+        key = (class_id, rank)
+        if key in self._term_memo:
+            return self._term_memo[key]
+        if key in in_progress:
+            return None
+        entries = self._entries.get(class_id)
+        if not entries or rank >= len(entries):
+            return None
+        cost, enode, indices = entries[rank]
+        in_progress.add(key)
+        try:
+            children = []
+            for arg, child_rank in zip(enode.args, indices):
+                child = self._term_at(arg, child_rank, in_progress)
+                if child is None:
+                    self._term_memo[key] = None
+                    return None
+                children.append(child.term)
+        finally:
+            in_progress.discard(key)
+        ranked = RankedTerm(cost, Term(enode.op, tuple(children)))
+        self._term_memo[key] = ranked
+        return ranked
+
+    def _materialized(self, class_id: int) -> List[RankedTerm]:
+        """All table entries of a class as concrete terms, distinct, best first."""
+        class_id = self.egraph.find(class_id)
+        results: List[RankedTerm] = []
+        seen: Set[Term] = set()
+        for rank in range(len(self._entries.get(class_id, []))):
+            entry = self._term_at(class_id, rank, set())
+            if entry is None or entry.term in seen:
+                continue
+            seen.add(entry.term)
+            results.append(entry)
+        return results
+
     # -- queries -----------------------------------------------------------------
 
     def extract_top_k(self, class_id: int) -> List[RankedTerm]:
         """The k cheapest distinct terms of ``class_id``, best first."""
-        entries = self._table.get(self.egraph.find(class_id))
+        entries = self._materialized(class_id)
         if not entries:
+            if self._entries.get(self.egraph.find(class_id)):
+                raise ExtractionError(
+                    f"only cyclic candidates for e-class {class_id}: the cost "
+                    "function is non-monotone and an equivalence cycle "
+                    "undercuts every realizable term"
+                )
             raise ExtractionError(f"no extractable term for e-class {class_id}")
-        return list(entries)
+        return entries[: self.k]
 
     def best(self, class_id: int) -> RankedTerm:
         """The single cheapest entry for ``class_id``."""
@@ -232,11 +382,11 @@ class TopKExtractor:
             child_entries = []
             missing = False
             for arg in enode.args:
-                entries = self._table.get(self.egraph.find(arg))
-                if not entries:
+                child = self._term_at(self.egraph.find(arg), 0, set())
+                if child is None:
                     missing = True
                     break
-                child_entries.append(entries[0])
+                child_entries.append(child)
             if missing:
                 continue
             cost = self.cost_function(enode.op, [c.cost for c in child_entries])

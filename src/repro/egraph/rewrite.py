@@ -11,7 +11,9 @@ Two flavours are provided:
 * :class:`Rewrite` — purely syntactic ``Pattern -> Pattern`` rules, optionally
   guarded by a predicate over the substitution (used, e.g., to require that
   two matched vectors are numerically equal within epsilon, or that a scale
-  factor is non-zero before dividing);
+  factor is non-zero before dividing); bidirectional rules additionally
+  search the rhs and tag those matches ``reverse`` so the apply phase
+  instantiates the lhs for them;
 * :class:`DynamicRewrite` — pattern on the left, arbitrary *applier* function
   on the right.  The applier receives the e-graph, the matched class, and the
   substitution and returns the id of a class to merge with (or ``None``).
@@ -37,10 +39,17 @@ Applier = Callable[[EGraph, int, Substitution], Optional[int]]
 
 @dataclass
 class RewriteMatch:
-    """One firing opportunity discovered during the search phase."""
+    """One firing opportunity discovered during the search phase.
+
+    ``reverse`` marks matches found by searching the *right-hand* side of a
+    bidirectional rule; applying such a match must instantiate the left-hand
+    side (instantiating the rhs again would merge the matched class with
+    itself, a silent no-op — the bug this flag fixes).
+    """
 
     class_id: int
     substitution: Substitution
+    reverse: bool = False
 
 
 class BaseRewrite:
@@ -81,8 +90,14 @@ class Rewrite(BaseRewrite):
     def search(self, egraph: EGraph) -> List[RewriteMatch]:
         matches = [RewriteMatch(cid, sub) for cid, sub in search(egraph, self.lhs)]
         if self.bidirectional:
+            # A reverse match can only fire if the rhs bound every variable
+            # the lhs needs; rules that drop variables left-to-right are
+            # simply one-directional for those matches.
+            needed = set(self.lhs.variables())
             matches.extend(
-                RewriteMatch(cid, sub) for cid, sub in search(egraph, self.rhs)
+                RewriteMatch(cid, sub, reverse=True)
+                for cid, sub in search(egraph, self.rhs)
+                if needed <= sub.keys()
             )
         return matches
 
@@ -90,7 +105,8 @@ class Rewrite(BaseRewrite):
         if self.guard is not None and not self.guard(egraph, match.class_id, match.substitution):
             return False
         before = egraph.version
-        new_id = instantiate(egraph, self.rhs, match.substitution)
+        target = self.lhs if match.reverse else self.rhs
+        new_id = instantiate(egraph, target, match.substitution)
         egraph.merge(match.class_id, new_id)
         return egraph.version != before
 

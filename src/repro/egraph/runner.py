@@ -1,9 +1,27 @@
-"""The equality-saturation loop.
+"""The equality-saturation loop: a batched two-phase scheduler.
 
-Repeatedly apply a rule set to an e-graph until saturation (no rule changes
-the graph), or until a fuel / node / time limit is hit.  The paper's main
-loop (Fig. 5) wraps one of these rewrite phases together with the arithmetic
-components; see :mod:`repro.core.pipeline` for that composition.
+Each iteration runs in two phases, egg-style:
+
+1. **search** — every enabled rule is matched against the *frozen*, freshly
+   rebuilt e-graph, collecting a list of :class:`RewriteMatch`\\ es per rule.
+   Because nothing is applied during this phase, every rule sees the same
+   graph and rule order cannot influence which matches exist — the engine is
+   deterministic and the per-iteration work is one e-matching pass per rule.
+2. **apply** — the collected matches are applied in order, then the graph is
+   rebuilt *once*.  Node and time limits are enforced between individual
+   match applications (not once per iteration), so a single explosive
+   iteration can no longer blow arbitrarily past the configured budget.
+
+A per-rule *backoff scheduler* (:class:`BackoffScheduler`) tames rules whose
+match counts explode: when a rule produces more matches in one search than
+its current threshold, the rule is banned for a number of iterations and its
+threshold and ban length double on each offence.  Saturation is only
+declared when an iteration changes nothing *and* no rule is still banned
+(a banned rule might have fired).
+
+The paper's main loop (Fig. 5) wraps one of these rewrite phases together
+with the arithmetic components; see :mod:`repro.core.pipeline` for that
+composition.
 """
 
 from __future__ import annotations
@@ -11,10 +29,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.egraph.egraph import EGraph
-from repro.egraph.rewrite import BaseRewrite
+from repro.egraph.rewrite import BaseRewrite, RewriteMatch
 
 
 class StopReason(Enum):
@@ -35,15 +53,96 @@ class RunnerLimits:
     max_seconds: float = 60.0
 
 
+@dataclass(frozen=True)
+class BackoffConfig:
+    """Knobs of the per-rule backoff scheduler.
+
+    ``match_limit`` is the initial per-iteration match-count threshold; a
+    rule exceeding it is banned for ``ban_length`` iterations.  Both double
+    every time the same rule re-offends, so a chronically explosive rule is
+    applied in exponentially rarer bursts instead of dominating every
+    iteration.
+    """
+
+    match_limit: int = 10_000
+    ban_length: int = 5
+
+
+@dataclass
+class _RuleStats:
+    """Mutable per-rule scheduler state."""
+
+    times_banned: int = 0
+    banned_until: int = 0  # first iteration index at which the rule may fire again
+    total_matches: int = 0
+
+
+class BackoffScheduler:
+    """Exponential-backoff rule scheduler (egg's ``BackoffScheduler``)."""
+
+    def __init__(self, config: Optional[BackoffConfig] = None):
+        self.config = config or BackoffConfig()
+        self._stats: Dict[str, _RuleStats] = {}
+
+    def _stats_for(self, name: str) -> _RuleStats:
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats[name] = _RuleStats()
+        return stats
+
+    def is_banned(self, name: str, iteration: int) -> bool:
+        """True when ``name`` must not search/apply during ``iteration``."""
+        return self._stats_for(name).banned_until > iteration
+
+    def banned_rules(self, iteration: int) -> List[str]:
+        """Names of all rules banned during ``iteration``."""
+        return [n for n, s in self._stats.items() if s.banned_until > iteration]
+
+    def next_expiry(self, iteration: int) -> Optional[int]:
+        """The earliest iteration at which a currently banned rule unbans.
+
+        None when nothing is banned during ``iteration``.
+        """
+        pending = [s.banned_until for s in self._stats.values() if s.banned_until > iteration]
+        return min(pending) if pending else None
+
+    def record_search(self, name: str, match_count: int, iteration: int) -> bool:
+        """Record a search result; returns False when the rule is now banned.
+
+        A False return means the caller must drop this iteration's matches
+        for the rule — the threshold and the ban both double on each offence.
+        """
+        stats = self._stats_for(name)
+        stats.total_matches += match_count
+        threshold = self.config.match_limit << stats.times_banned
+        if match_count > threshold:
+            ban = self.config.ban_length << stats.times_banned
+            stats.times_banned += 1
+            stats.banned_until = iteration + 1 + ban
+            return False
+        return True
+
+    def total_matches(self, name: str) -> int:
+        return self._stats_for(name).total_matches
+
+
 @dataclass
 class IterationReport:
-    """Statistics for a single rewrite iteration."""
+    """Statistics for a single two-phase rewrite iteration."""
 
     index: int
     firings: Dict[str, int] = field(default_factory=dict)
+    #: Matches collected during the search phase, per rule (including rules
+    #: whose matches were then dropped because the scheduler banned them).
+    matches: Dict[str, int] = field(default_factory=dict)
+    #: Rules that sat out this iteration because of a backoff ban.
+    banned: List[str] = field(default_factory=list)
     enodes_after: int = 0
     classes_after: int = 0
     seconds: float = 0.0
+    search_seconds: float = 0.0
+    apply_seconds: float = 0.0
+    rebuild_seconds: float = 0.0
 
     @property
     def total_firings(self) -> int:
@@ -68,50 +167,130 @@ class RunReport:
 
 
 class Runner:
-    """Applies a fixed rule set to an e-graph until saturation or limits."""
+    """Applies a fixed rule set to an e-graph until saturation or limits.
 
-    def __init__(self, rules: Sequence[BaseRewrite], limits: Optional[RunnerLimits] = None):
+    ``backoff`` configures the match-count scheduler; pass
+    ``BackoffConfig(match_limit=...)`` to tame explosive rules, or leave the
+    default (high threshold) to effectively disable banning for small runs.
+    Every :meth:`run` starts a fresh scheduler (ban windows are expressed in
+    that run's iteration indices); the most recent one stays available as
+    :attr:`scheduler` for post-run inspection.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[BaseRewrite],
+        limits: Optional[RunnerLimits] = None,
+        *,
+        backoff: Optional[BackoffConfig] = None,
+    ):
         self.rules = list(rules)
         self.limits = limits or RunnerLimits()
+        self.backoff = backoff or BackoffConfig()
+        self.scheduler = BackoffScheduler(self.backoff)
+
+    # -- phases -------------------------------------------------------------------
+
+    def _search_phase(
+        self, egraph: EGraph, iteration: int, report: IterationReport
+    ) -> List[Tuple[BaseRewrite, List[RewriteMatch]]]:
+        """Match every enabled rule against the frozen e-graph."""
+        searched: List[Tuple[BaseRewrite, List[RewriteMatch]]] = []
+        for rule in self.rules:
+            if self.scheduler.is_banned(rule.name, iteration):
+                report.banned.append(rule.name)
+                continue
+            matches = rule.search(egraph)
+            report.matches[rule.name] = len(matches)
+            if not matches:
+                continue
+            if not self.scheduler.record_search(rule.name, len(matches), iteration):
+                report.banned.append(rule.name)
+                continue
+            searched.append((rule, matches))
+        return searched
+
+    def _apply_phase(
+        self,
+        egraph: EGraph,
+        searched: List[Tuple[BaseRewrite, List[RewriteMatch]]],
+        start: float,
+        report: IterationReport,
+    ) -> Optional[StopReason]:
+        """Apply collected matches, enforcing limits between applications."""
+        for rule, matches in searched:
+            for match in matches:
+                if egraph.approx_enodes > self.limits.max_enodes:
+                    return StopReason.NODE_LIMIT
+                if time.perf_counter() - start > self.limits.max_seconds:
+                    return StopReason.TIME_LIMIT
+                if rule.apply_match(egraph, match):
+                    report.firings[rule.name] = report.firings.get(rule.name, 0) + 1
+        return None
+
+    # -- driver -------------------------------------------------------------------
 
     def run(self, egraph: EGraph) -> RunReport:
         """Run equality saturation; the e-graph is mutated in place."""
         start = time.perf_counter()
-        report = RunReport(stop_reason=StopReason.SATURATED)
+        report = RunReport(stop_reason=StopReason.ITERATION_LIMIT)
+        self.scheduler = BackoffScheduler(self.backoff)
+        egraph.rebuild()  # searches must always see canonical ids
 
-        for iteration in range(self.limits.max_iterations):
+        iteration = 0
+        while iteration < self.limits.max_iterations:
             iteration_start = time.perf_counter()
             version_before = egraph.version
-            firings: Dict[str, int] = {}
+            it_report = IterationReport(index=iteration)
 
-            for rule in self.rules:
-                fired = rule.run(egraph)
-                if fired:
-                    firings[rule.name] = firings.get(rule.name, 0) + fired
+            searched = self._search_phase(egraph, iteration, it_report)
+            it_report.search_seconds = time.perf_counter() - iteration_start
+
+            apply_start = time.perf_counter()
+            stop = self._apply_phase(egraph, searched, start, it_report)
+            it_report.apply_seconds = time.perf_counter() - apply_start
+
+            rebuild_start = time.perf_counter()
             egraph.rebuild()
+            it_report.rebuild_seconds = time.perf_counter() - rebuild_start
 
-            elapsed = time.perf_counter() - start
-            report.iterations.append(
-                IterationReport(
-                    index=iteration,
-                    firings=firings,
-                    enodes_after=egraph.total_enodes,
-                    classes_after=len(egraph),
-                    seconds=time.perf_counter() - iteration_start,
-                )
-            )
+            it_report.enodes_after = egraph.total_enodes
+            it_report.classes_after = len(egraph)
+            it_report.seconds = time.perf_counter() - iteration_start
+            report.iterations.append(it_report)
 
+            if stop is not None:
+                report.stop_reason = stop
+                break
             if egraph.version == version_before:
-                report.stop_reason = StopReason.SATURATED
-                break
-            if egraph.total_enodes > self.limits.max_enodes:
-                report.stop_reason = StopReason.NODE_LIMIT
-                break
-            if elapsed > self.limits.max_seconds:
-                report.stop_reason = StopReason.TIME_LIMIT
-                break
-        else:
-            report.stop_reason = StopReason.ITERATION_LIMIT
+                # Saturation needs an unchanged graph AND a full hearing: a
+                # rule banned during this iteration (even one whose ban
+                # expires next iteration) may still have matches to fire.
+                expiry = self.scheduler.next_expiry(iteration)
+                if expiry is None:
+                    report.stop_reason = StopReason.SATURATED
+                    break
+                if time.perf_counter() - start > self.limits.max_seconds:
+                    report.stop_reason = StopReason.TIME_LIMIT
+                    break
+                # Nothing can change until a ban lapses; re-searching the
+                # unchanged graph every iteration until then would produce
+                # identical results, so fast-forward to the first expiry
+                # (iteration indices in the report may therefore skip).
+                iteration = max(iteration + 1, expiry)
+            else:
+                # Budgets re-checked at iteration end: the per-match node
+                # check runs *before* each application (the final match can
+                # land just over), and the per-match time check never ran if
+                # matches were all guard-rejected cheaply.  Catching both
+                # here saves a full search phase over an over-budget graph.
+                if egraph.approx_enodes > self.limits.max_enodes:
+                    report.stop_reason = StopReason.NODE_LIMIT
+                    break
+                if time.perf_counter() - start > self.limits.max_seconds:
+                    report.stop_reason = StopReason.TIME_LIMIT
+                    break
+                iteration += 1
 
         report.seconds = time.perf_counter() - start
         return report

@@ -154,3 +154,93 @@ class TestMergeAndRebuild:
         egraph.add_term(Term.parse("(Union Cube Sphere)"))
         dump = egraph.dump()
         assert "Union" in dump and "Cube" in dump
+
+
+class TestMergeDataPolicy:
+    """merge(a, b) must merge analysis data deterministically: b's values win."""
+
+    def test_second_argument_wins_on_conflict(self):
+        egraph = EGraph()
+        a = egraph.add_leaf("A")
+        b = egraph.add_leaf("B")
+        egraph.eclass(a).data["tag"] = "from-a"
+        egraph.eclass(b).data["tag"] = "from-b"
+        keep = egraph.merge(a, b)
+        assert egraph.eclass(keep).data["tag"] == "from-b"
+
+    def test_policy_independent_of_parent_count_tie_breaking(self):
+        # Give `a` strictly more parents so it survives as canonical; b's
+        # data must still win the conflict.
+        egraph = EGraph()
+        a = egraph.add_leaf("A")
+        b = egraph.add_leaf("B")
+        egraph.add_term(Term.parse("(F A)"))
+        egraph.add_term(Term.parse("(G A)"))
+        egraph.eclass(a).data["tag"] = "from-a"
+        egraph.eclass(b).data["tag"] = "from-b"
+        keep = egraph.merge(a, b)
+        assert keep == a  # a is canonical...
+        assert egraph.eclass(keep).data["tag"] == "from-b"  # ...but b's data won
+
+    def test_disjoint_keys_are_unioned(self):
+        egraph = EGraph()
+        a = egraph.add_leaf("A")
+        b = egraph.add_leaf("B")
+        egraph.eclass(a).data["only-a"] = 1
+        egraph.eclass(b).data["only-b"] = 2
+        keep = egraph.merge(a, b)
+        assert egraph.eclass(keep).data == {"only-a": 1, "only-b": 2}
+
+
+class TestParentQueries:
+    def test_parent_enodes_deduplicates_and_canonicalizes(self):
+        egraph = EGraph()
+        fa = egraph.add_term(Term.parse("(F A)"))
+        fb = egraph.add_term(Term.parse("(F B)"))
+        a = egraph.lookup_term(Term("A"))
+        b = egraph.lookup_term(Term("B"))
+        egraph.merge(a, b)
+        egraph.rebuild()
+        # After the merge (F A) and (F B) are congruent: one canonical parent.
+        parents = egraph.parent_enodes(a)
+        assert len(parents) == 1
+        parent_node, parent_id = parents[0]
+        assert parent_node.op == "F"
+        assert egraph.find(parent_id) == egraph.find(fa) == egraph.find(fb)
+
+    def test_repair_keeps_absorbing_class_parents(self):
+        # Regression: when a congruence merge during _repair folds the
+        # repaired class into another class, the survivor's combined parents
+        # log must not be overwritten with just the repaired class's
+        # snapshot — the worklist extractors rely on its completeness.
+        from repro.egraph.extract import Extractor, TopKExtractor, ast_size_cost
+
+        eg = EGraph()
+        a = eg.add_leaf("A")
+        c = eg.add_leaf("C")
+        inter = eg.add_enode(ENode("Inter", (c, a)))
+        mapi1 = eg.add_enode(ENode("Mapi", (a,)))
+        union = eg.add_enode(ENode("Union", (inter, c)))
+        scale = eg.add_enode(ENode("Scale", (inter, mapi1)))
+        mapi2 = eg.add_enode(ENode("Mapi", (scale,)))
+        mapi3 = eg.add_enode(ENode("Mapi", (mapi2,)))
+        eg.merge(mapi2, scale)
+        eg.merge(mapi3, c)
+        eg.merge(inter, mapi3)
+        eg.rebuild()
+        # C's class absorbed several others; Union(C, C) must stay reachable
+        # through the parents log for both extractors.
+        parent_ops = {node.op for node, _ in eg.parent_enodes(c)}
+        assert "Union" in parent_ops
+        assert Extractor(eg, ast_size_cost).cost_of(union) == 3.0
+        best = TopKExtractor(eg, ast_size_cost, k=3).extract_top_k(union)[0]
+        assert best.term == Term.parse("(Union C C)")
+
+    def test_approx_enodes_matches_total_after_rebuild(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union (F A) (F B))"))
+        egraph.merge(
+            egraph.lookup_term(Term("A")), egraph.lookup_term(Term("B"))
+        )
+        egraph.rebuild()
+        assert egraph.approx_enodes == egraph.total_enodes

@@ -6,7 +6,7 @@ from repro.egraph.egraph import EGraph, ENode
 from repro.egraph.extract import Extractor, TopKExtractor, ast_size_cost
 from repro.egraph.pattern import Pattern, parse_pattern, search, instantiate, match_in_class
 from repro.egraph.rewrite import dynamic_rewrite, rewrite
-from repro.egraph.runner import Runner, RunnerLimits, StopReason
+from repro.egraph.runner import BackoffConfig, BackoffScheduler, Runner, RunnerLimits, StopReason
 from repro.lang.term import Term
 
 
@@ -133,6 +133,64 @@ class TestRewrites:
         assert rule.run(egraph) == 0
 
 
+class TestBidirectionalRewrites:
+    ASSOC = (
+        "assoc",
+        "(Union (Union ?a ?b) ?c)",
+        "(Union ?a (Union ?b ?c))",
+    )
+
+    def test_reverse_matches_are_tagged(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union A (Union B C))"))
+        rule = rewrite(*self.ASSOC, bidirectional=True)
+        matches = rule.search(egraph)
+        # The term only matches the rhs shape, so every match is a reverse one.
+        assert matches and all(match.reverse for match in matches)
+
+    def test_reverse_direction_fires(self):
+        # Regression test: on the seed code reverse matches instantiated the
+        # rhs again, merging the matched class with itself — the left-assoc
+        # form was silently never constructed.
+        egraph = EGraph()
+        root = egraph.add_term(Term.parse("(Union A (Union B C))"))
+        rule = rewrite(*self.ASSOC, bidirectional=True)
+        assert rule.run(egraph) >= 1
+        egraph.rebuild()
+        left = egraph.lookup_term(Term.parse("(Union (Union A B) C)"))
+        assert left is not None
+        assert egraph.is_equal(root, left)
+
+    def test_both_directions_reachable_from_either_form(self):
+        right = Term.parse("(Union A (Union B C))")
+        left = Term.parse("(Union (Union A B) C)")
+        for start in (right, left):
+            egraph = EGraph()
+            root = egraph.add_term(start)
+            Runner([rewrite(*self.ASSOC, bidirectional=True)]).run(egraph)
+            for form in (right, left):
+                found = egraph.lookup_term(form)
+                assert found is not None, f"{form} unreachable from {start}"
+                assert egraph.is_equal(root, found)
+
+    def test_reverse_match_needing_unbound_lhs_variable_is_skipped(self):
+        # The lhs drops ?y going left-to-right, so reverse matches cannot
+        # instantiate it; they must be filtered out instead of crashing.
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Scale 2 Cube)"))
+        rule = rewrite("drop", "(Union ?x ?y)", "(Scale 2 ?x)", bidirectional=True)
+        assert rule.search(egraph) == []
+        assert rule.run(egraph) == 0  # no crash, no firing
+
+    def test_unidirectional_rule_does_not_reverse(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union A (Union B C))"))
+        rule = rewrite(*self.ASSOC)
+        rule.run(egraph)
+        egraph.rebuild()
+        assert egraph.lookup_term(Term.parse("(Union (Union A B) C)")) is None
+
+
 class TestRunner:
     def test_saturation(self):
         egraph = EGraph()
@@ -161,6 +219,172 @@ class TestRunner:
         report = runner.run(egraph)
         assert report.total_firings >= 1
         assert "union-empty" in report.iterations[0].firings
+
+    def test_matches_and_phase_timings_recorded(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union Cube Empty)"))
+        report = Runner([rewrite("union-empty", "(Union ?x Empty)", "?x")]).run(egraph)
+        first = report.iterations[0]
+        assert first.matches["union-empty"] >= 1
+        assert first.search_seconds >= 0.0
+        assert first.apply_seconds >= 0.0
+        assert first.rebuild_seconds >= 0.0
+
+
+def _union_chain(leaves):
+    """(Union A (Union B (Union C ...))) over single-letter leaves."""
+    term = Term(leaves[-1])
+    for leaf in reversed(leaves[:-1]):
+        term = Term("Union", (Term(leaf), term))
+    return term
+
+
+class TestRunnerInLoopLimits:
+    EXPANSIVE = [
+        rewrite("union-comm", "(Union ?a ?b)", "(Union ?b ?a)"),
+        rewrite("union-assoc", "(Union (Union ?a ?b) ?c)", "(Union ?a (Union ?b ?c))"),
+    ]
+
+    def test_node_limit_enforced_between_applications(self):
+        egraph = EGraph()
+        egraph.add_term(_union_chain("ABCDEFGH"))
+        limit = 30
+        runner = Runner(
+            self.EXPANSIVE,
+            RunnerLimits(max_iterations=50, max_enodes=limit, max_seconds=30.0),
+        )
+        report = runner.run(egraph)
+        assert report.stop_reason == StopReason.NODE_LIMIT
+        # The budget is checked before every application, so the overshoot is
+        # bounded by what a single match can add — not by a whole iteration
+        # of unbounded firing (the seed behavior).
+        assert egraph.total_enodes <= limit + 10
+
+    def test_time_limit_enforced_between_applications(self):
+        egraph = EGraph()
+        egraph.add_term(_union_chain("ABCD"))
+        runner = Runner(
+            self.EXPANSIVE,
+            RunnerLimits(max_iterations=50, max_enodes=10_000, max_seconds=0.0),
+        )
+        report = runner.run(egraph)
+        assert report.stop_reason == StopReason.TIME_LIMIT
+        # The zero budget was already exhausted before the first application.
+        assert report.total_firings == 0
+
+
+class TestBackoffScheduler:
+    def test_explosive_rule_is_banned_and_recovers(self):
+        scheduler = BackoffScheduler(BackoffConfig(match_limit=3, ban_length=2))
+        assert scheduler.record_search("r", 3, iteration=0)  # at threshold: ok
+        assert not scheduler.record_search("r", 4, iteration=1)  # over: banned
+        assert scheduler.is_banned("r", 2)
+        assert scheduler.is_banned("r", 3)
+        assert not scheduler.is_banned("r", 4)
+        # Threshold doubled after the first offence.
+        assert scheduler.record_search("r", 6, iteration=4)
+        assert not scheduler.record_search("r", 7, iteration=5)
+        # Ban length doubled too: banned for 4 iterations now.
+        assert scheduler.is_banned("r", 9)
+        assert not scheduler.is_banned("r", 10)
+
+    def test_runner_drops_matches_of_banned_rule(self):
+        egraph = EGraph()
+        egraph.add_term(_union_chain("ABCDEFGH"))  # 7 Union classes
+        rule = rewrite("union-comm", "(Union ?a ?b)", "(Union ?b ?a)")
+        runner = Runner(
+            [rule],
+            RunnerLimits(max_iterations=3, max_enodes=10_000, max_seconds=10.0),
+            backoff=BackoffConfig(match_limit=3, ban_length=5),
+        )
+        report = runner.run(egraph)
+        first = report.iterations[0]
+        assert first.matches["union-comm"] == 7
+        assert "union-comm" in first.banned
+        assert report.total_firings == 0
+        # While a rule is banned the run must not report saturation, and the
+        # wait is fast-forwarded: the ban outlives max_iterations, so the
+        # report holds just the one iteration that issued it.
+        assert report.stop_reason == StopReason.ITERATION_LIMIT
+        assert len(report.iterations) == 1
+
+    def test_ban_expiring_next_iteration_defers_saturation(self):
+        # A rule banned at iteration 0 whose ban expires at iteration 2 must
+        # not let iteration 1 (nothing changed, rule still banned) report
+        # saturation: the rule gets its hearing once the ban lapses.
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union (Union A B) C)"))  # 2 Union classes
+        rule = rewrite("union-comm", "(Union ?a ?b)", "(Union ?b ?a)")
+        runner = Runner(
+            [rule],
+            RunnerLimits(max_iterations=10, max_enodes=10_000, max_seconds=10.0),
+            backoff=BackoffConfig(match_limit=1, ban_length=1),
+        )
+        report = runner.run(egraph)
+        # Iteration 0 banned the rule (2 matches > 1); after the ban lapsed
+        # the doubled threshold let it fire.
+        assert "union-comm" in report.iterations[0].banned
+        assert report.total_firings >= 2
+        assert egraph.lookup_term(Term.parse("(Union C (Union A B))")) is not None
+
+    def test_unbanned_rule_saturates_normally(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union (Union Cube Empty) Empty)"))
+        runner = Runner(
+            [rewrite("union-empty", "(Union ?x Empty)", "?x")],
+            backoff=BackoffConfig(match_limit=1_000, ban_length=5),
+        )
+        report = runner.run(egraph)
+        assert report.stop_reason == StopReason.SATURATED
+
+    def test_ban_wait_fast_forwards_instead_of_respinning(self):
+        # With the only rule banned and the graph unchanged, the runner must
+        # jump straight to the ban expiry instead of re-searching the same
+        # graph every iteration (report indices skip the waited-out window).
+        egraph = EGraph()
+        egraph.add_term(_union_chain("ABCDEFGH"))
+        runner = Runner(
+            [rewrite("union-comm", "(Union ?a ?b)", "(Union ?b ?a)")],
+            RunnerLimits(max_iterations=30, max_enodes=10_000, max_seconds=10.0),
+            backoff=BackoffConfig(match_limit=3, ban_length=5),
+        )
+        report = runner.run(egraph)
+        assert report.iterations[0].banned == ["union-comm"]
+        # Banned at iteration 0 for 5 iterations -> next report is iteration 6.
+        assert report.iterations[1].index == 6
+        assert len(report.iterations) < 30
+
+    def test_time_limit_applies_while_waiting_out_a_ban(self):
+        egraph = EGraph()
+        egraph.add_term(_union_chain("ABCDEFGH"))
+        runner = Runner(
+            [rewrite("union-comm", "(Union ?a ?b)", "(Union ?b ?a)")],
+            RunnerLimits(max_iterations=30, max_enodes=10_000, max_seconds=0.0),
+            backoff=BackoffConfig(match_limit=3, ban_length=5),
+        )
+        report = runner.run(egraph)
+        # The only rule was banned so no match ever applied; the time budget
+        # must still be honored rather than burning all 30 iterations.
+        assert report.stop_reason == StopReason.TIME_LIMIT
+
+    def test_runner_reuse_does_not_inherit_ban_state(self):
+        rule = rewrite("union-comm", "(Union ?a ?b)", "(Union ?b ?a)")
+        runner = Runner(
+            [rule],
+            RunnerLimits(max_iterations=5, max_enodes=10_000, max_seconds=10.0),
+            backoff=BackoffConfig(match_limit=3, ban_length=50),
+        )
+        first = EGraph()
+        first.add_term(_union_chain("ABCDEFGH"))
+        report = runner.run(first)
+        assert report.total_firings == 0  # banned for the whole first run
+        # A second run on a small graph starts with a fresh scheduler: the
+        # rule fires and the run saturates instead of sitting out a stale ban.
+        second = EGraph()
+        second.add_term(Term.parse("(Union A B)"))
+        report = runner.run(second)
+        assert report.total_firings >= 1
+        assert report.stop_reason == StopReason.SATURATED
 
 
 class TestExtraction:
