@@ -26,6 +26,11 @@ The speedup assertion is this change's acceptance gate and intentionally
 runs in the default collection; the measured margin is ~3x, but on a heavily
 loaded machine wall-clock ratios can wobble — CI runs this file in a
 non-blocking job for that reason.
+
+A second comparison (PR 2) measures the *search phase* alone: the naive
+per-rule e-matching sweep vs the compiled-trie incremental matcher
+(``Runner(..., incremental=True)``) on search-dominated workloads, recorded
+under the ``incremental_search`` key of ``BENCH_saturation.json``.
 """
 
 from __future__ import annotations
@@ -37,8 +42,9 @@ from typing import List, Optional, Tuple
 
 import pytest
 
-from repro.benchsuite.models import gear_model
+from repro.benchsuite.models import gear_model, linear_array
 from repro.core.rules import all_rules, default_rules
+from repro.csg.build import cube, scale
 from repro.egraph.egraph import EGraph
 from repro.egraph.extract import TopKExtractor, ast_size_cost
 from repro.egraph.runner import BackoffConfig, Runner, RunnerLimits
@@ -48,6 +54,10 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_saturation.json"
 
 #: The speedup the two-phase engine must demonstrate over the seed loop.
 REQUIRED_SPEEDUP = 2.0
+
+#: The search-phase speedup the incremental trie matcher must demonstrate
+#: over the naive per-rule sweep (PR 2's acceptance gate).
+REQUIRED_SEARCH_SPEEDUP = 2.0
 
 
 # ---------------------------------------------------------------------------
@@ -290,3 +300,88 @@ def test_two_phase_engine_parity_on_default_rules():
     assert two_phase["best_cost"] == seed["best_cost"]
     # No bans expected at the default threshold.
     assert all(not it["banned"] for it in two_phase["iterations"])
+
+
+# ---------------------------------------------------------------------------
+# Incremental e-matching (PR 2): naive sweep vs compiled-trie dirty search
+# ---------------------------------------------------------------------------
+
+
+def _measure_matcher(model: Term, rules, limits, backoff, incremental: bool) -> dict:
+    """One saturation run; returns timings with the search phase broken out."""
+    egraph = EGraph()
+    root = egraph.add_term(model)
+    start = time.perf_counter()
+    report = Runner(rules, limits, backoff=backoff, incremental=incremental).run(egraph)
+    total = time.perf_counter() - start
+    best = TopKExtractor(egraph, ast_size_cost, k=5, roots=[root]).extract_top_k(root)[0]
+    return {
+        "matcher": "incremental-trie" if incremental else "naive",
+        "stop_reason": report.stop_reason.value,
+        "iterations": len(report.iterations),
+        "search_seconds": sum(it.search_seconds for it in report.iterations),
+        "total_seconds": total,
+        "best_cost": best.cost,
+        "enodes": egraph.total_enodes,
+        "classes": len(egraph),
+        "dirty_profile": [
+            {"index": it.index, "dirty": it.dirty_classes, "searched": it.searched_classes,
+             "cached": it.cached_matches, "full_sweep": len(it.full_sweep_rules)}
+            for it in report.iterations
+        ] if incremental else None,
+    }
+
+
+#: Search-phase-dominated workloads: the expansive boolean rules on the
+#: largest bundled model (bans keep the graph bounded while search keeps
+#: paying for the whole rule database), and the incremental fold rules on a
+#: long flat chain (many iterations, each dirtying only the fold frontier).
+def _incremental_workloads():
+    return [
+        (
+            "gear-expansive-boolean",
+            gear_model(),
+            all_rules(),
+            RunnerLimits(max_iterations=12, max_enodes=5_000, max_seconds=30.0),
+            BackoffConfig(match_limit=1_000, ban_length=5),
+        ),
+        (
+            "chain-folds-80",
+            linear_array(80, (3.0, 0.0, 0.0), scale(2.0, 2.0, 2.0, cube())),
+            default_rules(),
+            RunnerLimits(max_iterations=30, max_enodes=100_000, max_seconds=30.0),
+            BackoffConfig(),
+        ),
+    ]
+
+
+@pytest.mark.figure
+def test_incremental_search_at_least_2x_faster_search_phase():
+    """Naive sweep vs incremental trie on search-dominated workloads.
+
+    The acceptance gate for the incremental e-matching subsystem: summed
+    over both workloads the search phase must be >= 2x faster, with the
+    extracted best costs (and final graph sizes) identical per workload.
+    """
+    naive_search = trie_search = 0.0
+    recorded = {}
+    for name, model, rules, limits, backoff in _incremental_workloads():
+        naive = _measure_matcher(model, rules, limits, backoff, incremental=False)
+        trie = _measure_matcher(model, rules, limits, backoff, incremental=True)
+        assert trie["best_cost"] == naive["best_cost"], name
+        assert trie["enodes"] == naive["enodes"], name
+        assert trie["classes"] == naive["classes"], name
+        naive_search += naive["search_seconds"]
+        trie_search += trie["search_seconds"]
+        recorded[name] = {
+            "model_nodes": model.size(),
+            "naive": naive,
+            "incremental": trie,
+            "search_speedup": naive["search_seconds"] / max(trie["search_seconds"], 1e-9),
+        }
+    speedup = naive_search / max(trie_search, 1e-9)
+    _record({"incremental_search": {"workloads": recorded, "search_speedup": speedup}})
+    assert speedup >= REQUIRED_SEARCH_SPEEDUP, (
+        f"incremental search only {speedup:.2f}x faster "
+        f"(naive {naive_search:.3f}s vs trie {trie_search:.3f}s)"
+    )

@@ -53,6 +53,13 @@ class SynthesisConfig:
     rule_match_limit: int = _DEFAULT_BACKOFF.match_limit
     rule_ban_length: int = _DEFAULT_BACKOFF.ban_length
 
+    #: Use the compiled-trie incremental e-matcher in the saturation runner
+    #: (only classes dirtied since the previous iteration are re-searched).
+    #: Match semantics are identical to the naive sweep — the differential
+    #: suite in ``tests/test_search_differential.py`` locks this down — so
+    #: the knob exists for ablation/debugging, not correctness.
+    incremental_search: bool = True
+
     #: Rule categories to enable (see :func:`repro.core.rules.rules_by_category`).
     rule_categories: Tuple[str, ...] = (
         "affine-lifting",

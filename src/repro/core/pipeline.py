@@ -28,6 +28,7 @@ from repro.core.rules import default_rules
 from repro.csg.metrics import TermMetrics, measure
 from repro.egraph.egraph import EGraph
 from repro.egraph.extract import TopKExtractor
+from repro.egraph.pattern import CompiledRuleSet
 from repro.egraph.runner import BackoffConfig, Runner, RunnerLimits, RunReport
 from repro.lang.term import Term
 
@@ -142,12 +143,21 @@ def synthesize(
         match_limit=config.rule_match_limit,
         ban_length=config.rule_ban_length,
     )
+    # Compile the rule patterns into the shared discrimination trie once;
+    # every saturation run of the outer loop reuses it.
+    compiled = CompiledRuleSet(rule_set) if config.incremental_search else None
 
     inference_records: List[InferenceRecord] = []
     run_reports: List[RunReport] = []
 
     for _ in range(max(1, config.main_iterations)):
-        runner = Runner(rule_set, limits, backoff=backoff)
+        runner = Runner(
+            rule_set,
+            limits,
+            backoff=backoff,
+            incremental=config.incremental_search,
+            compiled=compiled,
+        )
         run_reports.append(runner.run(egraph))
 
         changed = False

@@ -7,8 +7,9 @@ It provides:
 * :mod:`repro.egraph.unionfind` — a union-find over e-class ids;
 * :mod:`repro.egraph.egraph` — hash-consed e-nodes, e-classes, congruence
   closure with deferred rebuilding, and term insertion/extraction helpers;
-* :mod:`repro.egraph.pattern` — pattern terms with ``?x`` variables and
-  e-matching;
+* :mod:`repro.egraph.pattern` — pattern terms with ``?x`` variables, the
+  naive backtracking e-matcher, and the compiled discrimination-trie
+  matcher with incremental dirty-class search;
 * :mod:`repro.egraph.rewrite` — rewrite rules (pattern → pattern, or pattern
   → programmatic applier) in the style of Section 3.2;
 * :mod:`repro.egraph.runner` — the batched two-phase saturation loop with a
@@ -20,7 +21,16 @@ It provides:
 
 from repro.egraph.unionfind import UnionFind
 from repro.egraph.egraph import EGraph, ENode, EClass
-from repro.egraph.pattern import Pattern, PatternVar, parse_pattern, Substitution
+from repro.egraph.pattern import (
+    CompiledRuleSet,
+    IncrementalMatcher,
+    Pattern,
+    PatternVar,
+    SearchStats,
+    TrieStats,
+    parse_pattern,
+    Substitution,
+)
 from repro.egraph.rewrite import Rewrite, RewriteMatch, rewrite, DynamicRewrite
 from repro.egraph.runner import (
     BackoffConfig,
@@ -41,6 +51,10 @@ __all__ = [
     "PatternVar",
     "parse_pattern",
     "Substitution",
+    "CompiledRuleSet",
+    "IncrementalMatcher",
+    "SearchStats",
+    "TrieStats",
     "Rewrite",
     "RewriteMatch",
     "rewrite",

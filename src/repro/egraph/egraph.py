@@ -14,6 +14,19 @@ restores the two invariants that make e-matching sound:
 Rebuilding is deferred (egg-style): merges enqueue dirty classes and a
 single :meth:`EGraph.rebuild` pass repairs the invariants before the next
 round of matching.
+
+**Dirty-class tracking (the search-epoch protocol).**  Besides the rebuild
+worklist the e-graph records, in :attr:`EGraph._dirty`, every e-class whose
+*match set* may have changed since the last search epoch: classes created by
+:meth:`add_enode` and the surviving class of every :meth:`merge` (including
+congruence merges performed during :meth:`rebuild`).  Node lists only ever
+grow through those two operations, so the set is a sound over-approximation
+of "where new pattern matches can appear rooted".  An incremental matcher
+(see :class:`repro.egraph.pattern.IncrementalMatcher`) calls
+:meth:`take_dirty` once per search epoch to consume the set — matches rooted
+in an untouched class can only change through a touched *descendant*, which
+the matcher covers by closing the dirty set upward over parent pointers to
+its patterns' maximum depth.
 """
 
 from __future__ import annotations
@@ -80,6 +93,9 @@ class EGraph:
         #: entries may be stale (non-canonical or over-approximate) and are
         #: re-canonicalized by readers.
         self._op_index: Dict[Operator, set] = {}
+        #: e-class ids (possibly stale) touched since the last `take_dirty`;
+        #: see the module docstring for the search-epoch protocol.
+        self._dirty: Set[int] = set()
         self.version = 0  # bumped on every structural change; used by runners
 
     # -- basic queries -----------------------------------------------------------
@@ -157,6 +173,7 @@ class EGraph:
         self._classes[class_id] = eclass
         self._hashcons[enode] = class_id
         self._op_index.setdefault(enode.op, set()).add(class_id)
+        self._dirty.add(class_id)
         for arg in enode.args:
             self._classes[self.find(arg)].parents.append((enode, class_id))
         self.version += 1
@@ -213,6 +230,11 @@ class EGraph:
         keep_class.parents.extend(gone_class.parents)
         keep_class.data = merged_data
         self._pending.append(keep)
+        # Record the survivor (its match set grew) AND the absorbed root:
+        # the raw id stream lets an incremental match cache evict exactly
+        # the keys that lost canonicity instead of scanning every entry.
+        self._dirty.add(keep)
+        self._dirty.add(merged_away)
         self.version += 1
         return keep
 
@@ -293,6 +315,123 @@ class EGraph:
             # repair round; recursion depth is bounded by the lattice of
             # merges.
             self.rebuild()
+
+    # -- dirty-class tracking (search epochs) ------------------------------------
+
+    def dirty_classes(self) -> Set[int]:
+        """Canonical ids of live classes touched since the last :meth:`take_dirty`.
+
+        Stale ids (classes merged away since they were recorded) are folded
+        into their canonical survivors; ids whose class disappeared entirely
+        are dropped.  The underlying set is not cleared.
+        """
+        live = {self.find(id_) for id_ in self._dirty}
+        live.intersection_update(self._classes)
+        return live
+
+    def take_dirty(self) -> Set[int]:
+        """Consume and return the canonical dirty set, starting a new epoch.
+
+        One consumer owns the dirty stream: calling this clears the set, so
+        two independent incremental matchers over the same e-graph would
+        starve each other.  (The runner creates one matcher per run and
+        opens with a full sweep, which makes the hand-off safe.)
+        """
+        dirty = self.dirty_classes()
+        self._dirty.clear()
+        return dirty
+
+    def take_dirty_raw(self) -> Set[int]:
+        """Consume and return the *raw* dirty ids, starting a new epoch.
+
+        Unlike :meth:`take_dirty` the ids are returned as recorded — they
+        include roots that have since been merged away.  An incremental
+        match cache keyed by canonical-at-insert-time class ids can evict
+        exactly ``raw | closure`` instead of probing every cached key for
+        staleness; canonicalize with :meth:`find` to recover the set
+        :meth:`take_dirty` would have returned.
+        """
+        raw = set(self._dirty)
+        self._dirty.clear()
+        return raw
+
+    # -- invariant checking (debug/tests only) -----------------------------------
+
+    def check_invariants(self) -> bool:
+        """Assert the e-graph's structural invariants; returns True.
+
+        Debug-only: every check is O(nodes) or worse, so production paths
+        must never call this.  Always checked:
+
+        * class-table keys are exactly the union-find roots that own nodes,
+          and ``find`` actually path-compresses (after a full ``find`` sweep
+          no chain longer than one hop may remain — this guards the
+          union-find *implementation*; lazily uncompressed chains between
+          finds are normal and not a defect);
+        * every parent-log entry resolves to a live class;
+        * the dirty set is sound: every recorded id still resolves to a live
+          class (or was merged into one).
+
+        When no merges are pending (i.e. immediately after :meth:`rebuild`)
+        the deferred invariants must hold too:
+
+        * **hashcons canonical** — the hashcons keys are exactly the
+          canonicalized e-nodes stored in the classes, and every value is
+          the canonical id of the class holding that node;
+        * **congruence closed** — no two distinct classes contain the same
+          canonical e-node.
+        """
+        find = self._union_find.find
+        self._union_find.compress_all()
+        assert self._union_find.is_fully_compressed(), (
+            "UnionFind.find failed to path-compress during a full sweep"
+        )
+        roots = set(self._union_find.roots())
+        class_ids = set(self._classes)
+        assert class_ids == roots, (
+            f"class table / union-find roots diverge: "
+            f"classes-only {class_ids - roots}, roots-only {roots - class_ids}"
+        )
+        for class_id, eclass in self._classes.items():
+            assert eclass.id == class_id, f"class {class_id} mislabelled as {eclass.id}"
+            assert eclass.nodes, f"class {class_id} has no e-nodes"
+            for node in eclass.nodes:
+                for arg in node.args:
+                    assert find(arg) in self._classes, (
+                        f"node {node} in class {class_id} has dangling child {arg}"
+                    )
+            for _parent_node, parent_id in eclass.parents:
+                assert find(parent_id) in self._classes, (
+                    f"parent log of class {class_id} references dead class {parent_id}"
+                )
+        for id_ in self._dirty:
+            assert 0 <= id_ < len(self._union_find), f"dirty id {id_} never allocated"
+            assert find(id_) in self._classes, (
+                f"dirty id {id_} resolves to no live class"
+            )
+        if not self._pending:
+            node_owner: Dict[ENode, int] = {}
+            canonical_nodes: Set[ENode] = set()
+            for class_id, eclass in self._classes.items():
+                for node in eclass.nodes:
+                    canonical = node.canonicalize(find)
+                    assert canonical == node, (
+                        f"class {class_id} stores non-canonical node {node}"
+                    )
+                    previous = node_owner.setdefault(canonical, class_id)
+                    assert previous == class_id, (
+                        f"congruence violated: {canonical} in classes "
+                        f"{previous} and {class_id}"
+                    )
+                    canonical_nodes.add(canonical)
+            assert set(self._hashcons) == canonical_nodes, (
+                "hashcons keys diverge from stored canonical nodes"
+            )
+            for node, owner in self._hashcons.items():
+                assert find(owner) == node_owner[node], (
+                    f"hashcons maps {node} to {owner}, nodes live in {node_owner[node]}"
+                )
+        return True
 
     # -- parent queries ----------------------------------------------------------
 

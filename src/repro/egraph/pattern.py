@@ -6,17 +6,44 @@ E-matching finds, for every e-class, all substitutions under which the
 pattern is represented in that class (paper Section 3.1: "whenever an eclass
 c1 represents an expression matching pattern a under substitution phi ...").
 
-The matcher is the standard top-down backtracking e-matcher: match the root
-e-node's operator, then recursively match argument patterns against argument
-e-classes, threading a substitution.
+Two matchers are provided:
+
+* the standard top-down backtracking e-matcher (:func:`match_in_class`,
+  :func:`search`): match the root e-node's operator, then recursively match
+  argument patterns against argument e-classes, threading a substitution.
+  This is the reference ("naive") implementation the differential tests
+  treat as the oracle;
+* a compiled matcher (:class:`CompiledRuleSet`): every rule pattern is
+  compiled once into a short program of register-machine instructions
+  (*descend* an e-node binding its argument classes into fresh registers,
+  *check* that a class contains a leaf operator, *compare* two registers
+  bound to the same pattern variable), and the programs of all rules are
+  inserted into a shared discrimination trie so patterns with a common
+  prefix — in particular a common top symbol — are matched in one pass.
+
+**The dirty-epoch protocol.**  :class:`IncrementalMatcher` wraps a
+:class:`CompiledRuleSet` with a per-rule match cache keyed by canonical
+e-class.  Each call to :meth:`IncrementalMatcher.search` opens a new *search
+epoch*: it consumes the e-graph's dirty set (:meth:`EGraph.take_dirty` —
+classes created or merged since the previous epoch), closes it upward over
+parent pointers to the compiled patterns' maximum depth (a new match rooted
+at a clean class can only involve a changed class at most ``depth - 1``
+argument hops below it), re-matches exactly the closure, and serves every
+other class from the cache.  A rule that skipped an epoch (e.g. while
+banned by the runner's backoff scheduler) cannot trust its cache — the
+dirty sets of the missed epochs are gone — so it falls back to a full
+sweep, as does every rule on epoch 0.  The union of cached and re-matched
+results is therefore always the *complete* match set, identical to what
+:func:`search` returns on the same graph, which is what the differential
+suite in ``tests/test_search_differential.py`` locks down.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.egraph import EGraph, ENode, Operator
 from repro.lang.sexp import parse_sexp
 from repro.lang.term import Term
 
@@ -187,3 +214,398 @@ def instantiate(egraph: EGraph, pattern: Pattern, substitution: Substitution) ->
             raise KeyError(f"unbound pattern variable ?{pattern.op.name}") from exc
     args = tuple(instantiate(egraph, child, substitution) for child in pattern.children)
     return egraph.add_enode(ENode(pattern.op, args))
+
+
+# ---------------------------------------------------------------------------
+# Compiled e-matching: instruction programs in a shared discrimination trie
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Descend:
+    """Enumerate e-nodes ``(op arg0 ... argN)`` in the class held by ``reg``.
+
+    For each such e-node the argument classes are bound (canonicalized) into
+    registers ``base .. base + arity - 1`` and matching continues — this is
+    the matcher's only backtracking point.
+    """
+
+    reg: int
+    op: Operator
+    arity: int
+    base: int
+
+
+@dataclass(frozen=True)
+class Check:
+    """Require that the class held by ``reg`` contains the leaf e-node ``op``."""
+
+    reg: int
+    op: Operator
+
+
+@dataclass(frozen=True)
+class Compare:
+    """Require ``reg`` and ``prev`` to hold the same class (repeated variable)."""
+
+    reg: int
+    prev: int
+
+
+Instruction = Union[Descend, Check, Compare]
+
+#: A yield entry: (rule index, reverse?, ((var name, register), ...)).
+_Yield = Tuple[int, bool, Tuple[Tuple[str, int], ...]]
+
+
+def compile_pattern(pattern: Pattern) -> Tuple[Tuple[Instruction, ...], Tuple[Tuple[str, int], ...]]:
+    """Compile a pattern into an instruction program plus a variable map.
+
+    Register 0 holds the candidate root class; registers are allocated in a
+    deterministic preorder walk, so two patterns sharing a structural prefix
+    compile to programs sharing an instruction prefix — the property the
+    discrimination trie exploits.  Variable names never appear in the
+    instructions (only in the final variable map), so alpha-equivalent
+    prefixes of different rules still share.
+    """
+    instructions: List[Instruction] = []
+    var_regs: Dict[str, int] = {}
+    next_reg = 1
+
+    def walk(p: Pattern, reg: int) -> None:
+        nonlocal next_reg
+        if isinstance(p.op, PatternVar):
+            previous = var_regs.get(p.op.name)
+            if previous is None:
+                var_regs[p.op.name] = reg
+            else:
+                instructions.append(Compare(reg, previous))
+            return
+        if not p.children:
+            instructions.append(Check(reg, p.op))
+            return
+        base = next_reg
+        next_reg += len(p.children)
+        instructions.append(Descend(reg, p.op, len(p.children), base))
+        for offset, child in enumerate(p.children):
+            walk(child, base + offset)
+
+    walk(pattern, 0)
+    return tuple(instructions), tuple(sorted(var_regs.items()))
+
+
+def pattern_depth(pattern: Pattern) -> int:
+    """Depth of a pattern (a bare variable or leaf has depth 1)."""
+    return 1 + max((pattern_depth(c) for c in pattern.children), default=0)
+
+
+class _TrieNode:
+    """One node of the shared-program trie; edges are labelled by instructions."""
+
+    __slots__ = ("children", "yields", "rules")
+
+    def __init__(self) -> None:
+        self.children: Dict[Instruction, "_TrieNode"] = {}
+        self.yields: List[_Yield] = []
+        #: Indices of every rule with a program passing through this node —
+        #: used to prune whole subtrees when the caller restricts the search
+        #: to a subset of rules (e.g. while others are banned).
+        self.rules: Set[int] = set()
+
+
+@dataclass(frozen=True)
+class TrieStats:
+    """Size/sharing statistics of a compiled rule set."""
+
+    programs: int            #: compiled (rule, direction) programs
+    instructions: int        #: total instructions across all programs
+    trie_nodes: int          #: interior+leaf nodes actually allocated
+    shared_instructions: int #: instructions saved by prefix sharing
+    max_depth: int           #: deepest compiled pattern (drives dirty closure)
+
+
+class CompiledRuleSet:
+    """All rule patterns of a rule set compiled into one discrimination trie.
+
+    Construction walks every rule's searchable patterns — the left-hand side
+    always, and for bidirectional rules whose right-hand side binds every
+    left-hand variable also the right-hand side (tagged *reverse*, mirroring
+    :meth:`repro.egraph.rewrite.Rewrite.search`) — compiles each into an
+    instruction program, and inserts the programs into a trie whose root
+    edges are keyed by the pattern's top symbol.  Searching a class then
+    dispatches once on the class's operators instead of once per rule.
+
+    The object is immutable with respect to the e-graph: it holds no graph
+    state, so one compiled set can be shared by many runs (the pipeline
+    compiles the rule database once per :func:`~repro.core.pipeline.synthesize`
+    call).  Incremental state lives in :class:`IncrementalMatcher`.
+    """
+
+    def __init__(self, rules: Sequence) -> None:
+        self.rules = list(rules)
+        self.rule_names: List[str] = [rule.name for rule in self.rules]
+        if len(set(self.rule_names)) != len(self.rule_names):
+            raise ValueError("rule names must be unique to compile a rule set")
+        self._root = _TrieNode()
+        #: Root trie edges grouped by the pattern's top symbol.
+        self._root_edges_by_op: Dict[Operator, List[Tuple[Instruction, _TrieNode]]] = {}
+        #: True when some pattern is a bare variable (matches every class).
+        self._has_var_roots = False
+        programs = 0
+        total_instructions = 0
+        max_depth = 1
+        for index, rule in enumerate(self.rules):
+            patterns: List[Tuple[Pattern, bool]] = [(rule.lhs, False)]
+            rhs = getattr(rule, "rhs", None)
+            if getattr(rule, "bidirectional", False) and rhs is not None:
+                # A reverse match can only fire if the rhs binds every
+                # variable the lhs needs; that is a static property of the
+                # two patterns, so the filter runs at compile time.
+                if set(rule.lhs.variables()) <= set(rhs.variables()):
+                    patterns.append((rhs, True))
+            for pattern, reverse in patterns:
+                instructions, varmap = compile_pattern(pattern)
+                self._insert(instructions, (index, reverse, varmap))
+                programs += 1
+                total_instructions += len(instructions)
+                max_depth = max(max_depth, pattern_depth(pattern))
+        self.max_depth = max_depth
+        #: Parent hops needed to cover every class whose match set a dirty
+        #: class can influence.
+        self.closure_steps = max(0, max_depth - 1)
+        trie_nodes = self._count_nodes(self._root)
+        self.stats = TrieStats(
+            programs=programs,
+            instructions=total_instructions,
+            trie_nodes=trie_nodes,
+            shared_instructions=total_instructions - (trie_nodes - 1),
+            max_depth=max_depth,
+        )
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _insert(self, instructions: Tuple[Instruction, ...], entry: _Yield) -> None:
+        node = self._root
+        node.rules.add(entry[0])
+        for position, instruction in enumerate(instructions):
+            child = node.children.get(instruction)
+            if child is None:
+                child = node.children[instruction] = _TrieNode()
+                if position == 0:
+                    self._root_edges_by_op.setdefault(instruction.op, []).append(
+                        (instruction, child)
+                    )
+            child.rules.add(entry[0])
+            node = child
+        if node is self._root:
+            self._has_var_roots = True
+        node.yields.append(entry)
+
+    def _count_nodes(self, node: _TrieNode) -> int:
+        return 1 + sum(self._count_nodes(child) for child in node.children.values())
+
+    # -- searching --------------------------------------------------------------
+
+    def search_classes(
+        self,
+        egraph: EGraph,
+        class_ids: Optional[Iterable[int]] = None,
+        enabled: Optional[Set[str]] = None,
+    ) -> Dict[str, List]:
+        """Match every compiled pattern against a set of candidate classes.
+
+        ``class_ids`` restricts the search (``None`` means the whole graph,
+        pre-filtered through the operator index); ``enabled`` restricts it to
+        a subset of rule names, pruning shared trie branches no enabled rule
+        passes through.  Returns ``{rule name: [RewriteMatch, ...]}`` with
+        matches ordered by canonical class id; every rule searched gets an
+        entry, even when empty.
+        """
+        from repro.egraph.rewrite import RewriteMatch  # local: avoids an import cycle
+
+        if enabled is None:
+            enabled_indices: Optional[Set[int]] = None
+        else:
+            enabled_indices = {i for i, n in enumerate(self.rule_names) if n in enabled}
+        if class_ids is None:
+            candidates: Set[int] = set()
+            if self._has_var_roots:
+                candidates.update(egraph.find(eclass.id) for eclass in egraph.classes())
+            else:
+                for op in self._root_edges_by_op:
+                    candidates.update(egraph.classes_with_op(op))
+        else:
+            candidates = {egraph.find(class_id) for class_id in class_ids}
+        out: Dict[int, List] = {
+            i: [] for i in range(len(self.rules))
+            if enabled_indices is None or i in enabled_indices
+        }
+        for class_id in sorted(candidates):
+            self._match_class(egraph, class_id, enabled_indices, out, RewriteMatch)
+        return {self.rule_names[index]: matches for index, matches in out.items()}
+
+    def _match_class(self, egraph, class_id, enabled, out, match_type) -> None:
+        for entry in self._root.yields:  # bare-variable patterns match any class
+            if enabled is None or entry[0] in enabled:
+                self._emit(entry, [class_id], class_id, out, match_type)
+        nodes = egraph.nodes(class_id)
+        ops = {node.op for node in nodes}
+        regs = [class_id]
+        for op in ops:
+            for instruction, child in self._root_edges_by_op.get(op, ()):
+                self._step(instruction, child, egraph, regs, class_id, enabled, out, match_type)
+
+    def _emit(self, entry, regs, class_id, out, match_type) -> None:
+        index, reverse, varmap = entry
+        out[index].append(
+            match_type(class_id, {name: regs[reg] for name, reg in varmap}, reverse)
+        )
+
+    def _execute(self, node, egraph, regs, class_id, enabled, out, match_type) -> None:
+        for entry in node.yields:
+            if enabled is None or entry[0] in enabled:
+                self._emit(entry, regs, class_id, out, match_type)
+        for instruction, child in node.children.items():
+            self._step(instruction, child, egraph, regs, class_id, enabled, out, match_type)
+
+    def _step(self, instruction, child, egraph, regs, class_id, enabled, out, match_type) -> None:
+        if enabled is not None and not (child.rules & enabled):
+            return
+        kind = type(instruction)
+        if kind is Descend:
+            find = egraph.find
+            for enode in egraph.nodes(regs[instruction.reg]):
+                if enode.op == instruction.op and len(enode.args) == instruction.arity:
+                    self._execute(
+                        child,
+                        egraph,
+                        regs + [find(arg) for arg in enode.args],
+                        class_id,
+                        enabled,
+                        out,
+                        match_type,
+                    )
+        elif kind is Check:
+            for enode in egraph.nodes(regs[instruction.reg]):
+                if not enode.args and enode.op == instruction.op:
+                    self._execute(child, egraph, regs, class_id, enabled, out, match_type)
+                    break
+        else:  # Compare
+            if regs[instruction.reg] == regs[instruction.prev]:
+                self._execute(child, egraph, regs, class_id, enabled, out, match_type)
+
+
+@dataclass
+class SearchStats:
+    """What one :meth:`IncrementalMatcher.search` epoch actually did."""
+
+    epoch: int = 0
+    dirty_classes: int = 0       #: canonical classes dirtied since last epoch
+    searched_classes: int = 0    #: dirty closure actually re-matched
+    full_sweep_rules: List[str] = field(default_factory=list)
+    cached_matches: int = 0      #: matches served from the cache
+    recomputed_matches: int = 0  #: matches produced by trie execution
+
+
+class IncrementalMatcher:
+    """Epoch-cached incremental e-matching over one e-graph.
+
+    See the module docstring for the dirty-epoch protocol.  The matcher owns
+    the e-graph's dirty stream from its first :meth:`search` on: it calls
+    :meth:`EGraph.take_dirty` every epoch, so at most one matcher may drive
+    a given e-graph at a time.
+    """
+
+    def __init__(self, compiled: CompiledRuleSet) -> None:
+        self.compiled = compiled
+        self._epoch = 0
+        self._rule_epoch: Dict[str, int] = {}
+        #: rule name -> canonical class id -> cached matches in that class.
+        self._cache: Dict[str, Dict[int, List]] = {name: {} for name in compiled.rule_names}
+        self.last_stats = SearchStats()
+
+    # -- dirty closure ----------------------------------------------------------
+
+    def _dirty_closure(self, egraph: EGraph, dirty: Set[int]) -> Set[int]:
+        """Close the dirty set upward over parents to the patterns' depth."""
+        closure = set(dirty)
+        frontier = dirty
+        find = egraph.find
+        for _ in range(self.compiled.closure_steps):
+            if not frontier:
+                break
+            next_frontier: Set[int] = set()
+            for class_id in frontier:
+                for _parent_node, parent_id in egraph.eclass(class_id).parents:
+                    parent = find(parent_id)
+                    if parent not in closure:
+                        closure.add(parent)
+                        next_frontier.add(parent)
+            frontier = next_frontier
+        return closure
+
+    # -- searching --------------------------------------------------------------
+
+    def search(
+        self, egraph: EGraph, enabled: Optional[Set[str]] = None
+    ) -> Dict[str, List]:
+        """Complete match sets for the enabled rules on the current graph.
+
+        Equivalent to calling :func:`search` per rule pattern, but clean
+        classes are served from the previous epoch's cache.
+        """
+        self._epoch += 1
+        dirty = egraph.dirty_classes()
+        raw_dirty = egraph.take_dirty_raw()
+        names = (
+            list(self.compiled.rule_names)
+            if enabled is None
+            else [n for n in self.compiled.rule_names if n in enabled]
+        )
+        incremental = [n for n in names if self._rule_epoch.get(n) == self._epoch - 1]
+        full = [n for n in names if self._rule_epoch.get(n) != self._epoch - 1]
+        stats = SearchStats(epoch=self._epoch, dirty_classes=len(dirty))
+        stats.full_sweep_rules = list(full)
+
+        closure: Set[int] = set()
+        if incremental:
+            closure = self._dirty_closure(egraph, dirty)
+            stats.searched_classes = len(closure)
+            # Evict exactly the cache keys that can be stale: the closure
+            # (whose matches are recomputed below) plus the raw dirty ids —
+            # which include every root merged away since the last epoch, so
+            # keys that lost canonicity are hit directly instead of probing
+            # every cached class with find().
+            stale = raw_dirty | closure
+            for name in incremental:
+                cache = self._cache[name]
+                for class_id in stale:
+                    cache.pop(class_id, None)
+            if closure:
+                recomputed = self.compiled.search_classes(
+                    egraph, class_ids=closure, enabled=set(incremental)
+                )
+                for name, matches in recomputed.items():
+                    cache = self._cache[name]
+                    for match in matches:
+                        cache.setdefault(match.class_id, []).append(match)
+                    stats.recomputed_matches += len(matches)
+        if full:
+            swept = self.compiled.search_classes(egraph, enabled=set(full))
+            for name, matches in swept.items():
+                grouped: Dict[int, List] = {}
+                for match in matches:
+                    grouped.setdefault(match.class_id, []).append(match)
+                self._cache[name] = grouped
+                stats.recomputed_matches += len(matches)
+
+        results: Dict[str, List] = {}
+        for name in names:
+            self._rule_epoch[name] = self._epoch
+            cache = self._cache[name]
+            flat: List = []
+            for class_id in sorted(cache):
+                flat.extend(cache[class_id])
+            results[name] = flat
+        stats.cached_matches = sum(len(m) for m in results.values()) - stats.recomputed_matches
+        self.last_stats = stats
+        return results

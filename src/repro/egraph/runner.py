@@ -7,6 +7,13 @@ Each iteration runs in two phases, egg-style:
    Because nothing is applied during this phase, every rule sees the same
    graph and rule order cannot influence which matches exist — the engine is
    deterministic and the per-iteration work is one e-matching pass per rule.
+   With ``incremental=True`` the pass goes through an
+   :class:`~repro.egraph.pattern.IncrementalMatcher` over a compiled
+   discrimination trie instead of the naive per-rule sweep: only classes
+   dirtied since the previous iteration (closed upward to pattern depth) are
+   re-matched, with a full sweep on the first iteration and for any rule
+   that skipped an iteration (e.g. while banned), so the match sets handed
+   to the apply phase are always identical to the naive engine's.
 2. **apply** — the collected matches are applied in order, then the graph is
    rebuilt *once*.  Node and time limits are enforced between individual
    match applications (not once per iteration), so a single explosive
@@ -32,6 +39,7 @@ from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.egraph.egraph import EGraph
+from repro.egraph.pattern import CompiledRuleSet, IncrementalMatcher
 from repro.egraph.rewrite import BaseRewrite, RewriteMatch
 
 
@@ -143,6 +151,18 @@ class IterationReport:
     search_seconds: float = 0.0
     apply_seconds: float = 0.0
     rebuild_seconds: float = 0.0
+    #: Incremental-search statistics (None fields when the naive matcher ran).
+    #: ``dirty_classes`` is the canonical dirty-core size this epoch,
+    #: ``searched_classes`` the parent-closure actually re-matched,
+    #: ``full_sweep_rules`` the rules that could not use their cache (first
+    #: iteration, or just back from a backoff ban), and ``cached_matches``
+    #: how many matches were served without touching the trie.
+    dirty_classes: Optional[int] = None
+    searched_classes: Optional[int] = None
+    full_sweep_rules: List[str] = field(default_factory=list)
+    cached_matches: int = 0
+    trie_nodes: int = 0
+    trie_programs: int = 0
 
     @property
     def total_firings(self) -> int:
@@ -175,6 +195,14 @@ class Runner:
     Every :meth:`run` starts a fresh scheduler (ban windows are expressed in
     that run's iteration indices); the most recent one stays available as
     :attr:`scheduler` for post-run inspection.
+
+    ``incremental=True`` switches the search phase to the compiled
+    discrimination trie with dirty-class caching; ``compiled`` optionally
+    supplies a pre-built :class:`CompiledRuleSet` over the *same* rules so
+    callers running many saturations (the synthesis pipeline) compile once —
+    it must cover exactly this runner's rule names, and implies incremental
+    search unless ``incremental=False`` is passed explicitly.  Match
+    semantics are identical either way — only the search cost differs.
     """
 
     def __init__(
@@ -183,24 +211,57 @@ class Runner:
         limits: Optional[RunnerLimits] = None,
         *,
         backoff: Optional[BackoffConfig] = None,
+        incremental: Optional[bool] = None,
+        compiled: Optional[CompiledRuleSet] = None,
     ):
         self.rules = list(rules)
         self.limits = limits or RunnerLimits()
         self.backoff = backoff or BackoffConfig()
         self.scheduler = BackoffScheduler(self.backoff)
+        if compiled is not None and set(compiled.rule_names) != {r.name for r in self.rules}:
+            raise ValueError(
+                "compiled rule set does not cover this runner's rules: "
+                f"compiled={sorted(compiled.rule_names)} "
+                f"runner={sorted(r.name for r in self.rules)}"
+            )
+        self.incremental = (compiled is not None) if incremental is None else incremental
+        self.compiled = compiled
+        if self.incremental and self.compiled is None:
+            self.compiled = CompiledRuleSet(self.rules)
+        #: The matcher of the most recent :meth:`run` (post-run inspection).
+        self.matcher: Optional[IncrementalMatcher] = None
 
     # -- phases -------------------------------------------------------------------
 
     def _search_phase(
         self, egraph: EGraph, iteration: int, report: IterationReport
     ) -> List[Tuple[BaseRewrite, List[RewriteMatch]]]:
-        """Match every enabled rule against the frozen e-graph."""
+        """Match every enabled rule against the frozen e-graph.
+
+        With a matcher attached (``incremental=True``) the whole pass is one
+        trie search over the dirty closure; either way the match lists are
+        complete, so the backoff scheduler sees identical counts.
+        """
         searched: List[Tuple[BaseRewrite, List[RewriteMatch]]] = []
+        enabled: List[BaseRewrite] = []
         for rule in self.rules:
             if self.scheduler.is_banned(rule.name, iteration):
                 report.banned.append(rule.name)
-                continue
-            matches = rule.search(egraph)
+            else:
+                enabled.append(rule)
+        if self.matcher is not None:
+            results = self.matcher.search(egraph, {rule.name for rule in enabled})
+            stats = self.matcher.last_stats
+            report.dirty_classes = stats.dirty_classes
+            report.searched_classes = stats.searched_classes
+            report.full_sweep_rules = list(stats.full_sweep_rules)
+            report.cached_matches = stats.cached_matches
+            report.trie_nodes = self.compiled.stats.trie_nodes
+            report.trie_programs = self.compiled.stats.programs
+        else:
+            results = None
+        for rule in enabled:
+            matches = results[rule.name] if results is not None else rule.search(egraph)
             report.matches[rule.name] = len(matches)
             if not matches:
                 continue
@@ -235,6 +296,10 @@ class Runner:
         start = time.perf_counter()
         report = RunReport(stop_reason=StopReason.ITERATION_LIMIT)
         self.scheduler = BackoffScheduler(self.backoff)
+        # A fresh matcher per run: its first epoch is a full sweep, which
+        # also makes it safe to take over the graph's dirty stream from any
+        # previous consumer (mutations between runs are then irrelevant).
+        self.matcher = IncrementalMatcher(self.compiled) if self.incremental else None
         egraph.rebuild()  # searches must always see canonical ids
 
         iteration = 0

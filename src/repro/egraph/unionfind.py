@@ -53,3 +53,19 @@ class UnionFind:
     def in_same_set(self, a: int, b: int) -> bool:
         """True when the two ids are currently equivalent."""
         return self.find(a) == self.find(b)
+
+    # -- introspection (used by EGraph.check_invariants) -------------------------
+
+    def compress_all(self) -> None:
+        """Path-compress every id (so :meth:`is_fully_compressed` is meaningful)."""
+        for id_ in range(len(self._parents)):
+            self.find(id_)
+
+    def is_fully_compressed(self) -> bool:
+        """True when every id points directly at its root."""
+        parents = self._parents
+        return all(parents[parents[id_]] == parents[id_] for id_ in range(len(parents)))
+
+    def roots(self) -> List[int]:
+        """All canonical representatives (ids that are their own parent)."""
+        return [id_ for id_, parent in enumerate(self._parents) if id_ == parent]

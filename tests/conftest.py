@@ -17,6 +17,14 @@ import pytest
 from repro.core.config import SynthesisConfig
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running end-to-end sweeps; CI runs these in a separate "
+        "non-blocking lane (deselect locally with -m 'not slow')",
+    )
+
+
 @pytest.fixture
 def config() -> SynthesisConfig:
     """The default synthesis configuration (paper settings)."""

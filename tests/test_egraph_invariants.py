@@ -1,0 +1,130 @@
+"""Property-based e-graph invariant tests.
+
+:meth:`EGraph.check_invariants` is a debug-only O(graph) sweep asserting the
+hashcons is canonical, the union-find is path-compressed and agrees with the
+class table, congruence is closed (after rebuild), and the dirty set is
+sound.  The hypothesis test below drives randomized add/merge/rebuild
+schedules and calls it after every operation; the deterministic tests pin
+the dirty-set epoch protocol and prove the checker actually detects
+corruption (a checker that never fires guards nothing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")  # no dependency manifest; keep the gate runnable
+from hypothesis import given, settings, strategies as st
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.lang.term import Term
+
+# -- term / operation strategies ------------------------------------------------
+
+_leaf = st.sampled_from(["x", "y", "z", 0, 1])
+_term = st.recursive(
+    _leaf.map(Term),
+    lambda children: st.tuples(st.sampled_from(["U", "I", "T"]), st.lists(children, min_size=1, max_size=2)).map(
+        lambda pair: Term(pair[0], tuple(pair[1]))
+    ),
+    max_leaves=8,
+)
+
+_operation = st.one_of(
+    st.tuples(st.just("add"), _term),
+    st.tuples(st.just("merge"), st.tuples(st.integers(0, 50), st.integers(0, 50))),
+    st.tuples(st.just("rebuild"), st.none()),
+    st.tuples(st.just("take-dirty"), st.none()),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_operation, min_size=1, max_size=40))
+def test_invariants_hold_after_every_operation(operations):
+    egraph = EGraph()
+    ids = [egraph.add_term(Term("U", (Term("x"), Term("y"))))]
+    for kind, payload in operations:
+        if kind == "add":
+            before = len(egraph._union_find)
+            ids.append(egraph.add_term(payload))
+            # Dirty-set soundness: every freshly created class is dirty.
+            for new_id in range(before, len(egraph._union_find)):
+                assert egraph.find(new_id) in egraph.dirty_classes()
+        elif kind == "merge":
+            a, b = payload
+            a, b = ids[a % len(ids)], ids[b % len(ids)]
+            if egraph.find(a) != egraph.find(b):
+                kept = egraph.merge(a, b)
+                assert egraph.find(kept) in egraph.dirty_classes()
+        elif kind == "rebuild":
+            egraph.rebuild()
+        else:  # take-dirty opens a new search epoch
+            taken = egraph.take_dirty()
+            assert taken == {egraph.find(i) for i in taken}
+            assert egraph.dirty_classes() == set()
+        egraph.check_invariants()
+    egraph.rebuild()
+    egraph.check_invariants()
+
+
+def test_take_dirty_reports_merges_into_canonical_survivors():
+    egraph = EGraph()
+    a = egraph.add_term(Term("U", (Term("x"), Term("y"))))
+    b = egraph.add_term(Term("U", (Term("y"), Term("x"))))
+    egraph.rebuild()
+    egraph.take_dirty()
+    kept = egraph.merge(a, b)
+    egraph.rebuild()
+    dirty = egraph.take_dirty()
+    assert egraph.find(kept) in dirty
+    # The epoch is consumed: nothing dirty until the graph changes again.
+    assert egraph.take_dirty() == set()
+    egraph.add_term(Term("T", (Term("z"),)))
+    assert egraph.take_dirty() != set()
+
+
+def test_congruence_merges_during_rebuild_are_reported_dirty():
+    """A congruence merge discovered by rebuild (not by the caller) must
+    still show up in the dirty stream — incremental search soundness."""
+    egraph = EGraph()
+    x, y = egraph.add_term(Term("x")), egraph.add_term(Term("y"))
+    fx = egraph.add_term(Term("T", (Term("x"),)))
+    fy = egraph.add_term(Term("T", (Term("y"),)))
+    egraph.rebuild()
+    egraph.take_dirty()
+    egraph.merge(x, y)          # makes (T x) and (T y) congruent
+    egraph.rebuild()            # rebuild performs the congruence merge
+    dirty = egraph.take_dirty()
+    assert egraph.find(fx) == egraph.find(fy)
+    assert egraph.find(fx) in dirty
+    egraph.check_invariants()
+
+
+def test_checker_detects_hashcons_corruption():
+    egraph = EGraph()
+    egraph.add_term(Term("U", (Term("x"), Term("y"))))
+    egraph.rebuild()
+    egraph._hashcons[ENode("ghost", ())] = 0
+    with pytest.raises(AssertionError):
+        egraph.check_invariants()
+
+
+def test_checker_detects_congruence_violation():
+    egraph = EGraph()
+    x = egraph.add_term(Term("x"))
+    y = egraph.add_term(Term("y"))
+    egraph.rebuild()
+    # Smuggle a duplicate canonical node into a second class.
+    egraph._classes[y].nodes.append(egraph._classes[x].nodes[0])
+    with pytest.raises(AssertionError):
+        egraph.check_invariants()
+
+
+def test_checker_detects_class_table_unionfind_divergence():
+    egraph = EGraph()
+    egraph.add_term(Term("x"))
+    egraph.rebuild()
+    orphan = egraph._union_find.make_set()
+    assert orphan not in egraph._classes
+    with pytest.raises(AssertionError):
+        egraph.check_invariants()
