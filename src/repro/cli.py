@@ -2,35 +2,97 @@
 
 Usage examples::
 
-    szalinski synth model.csg            # synthesize top-k programs for a flat CSG file
-    szalinski flatten design.scad        # flatten an OpenSCAD design to flat CSG
-    szalinski table1                     # reproduce Table 1 over the benchmark suite
-    szalinski bench gear                 # run one benchmark by name
+    szalinski synth model.csg                  # synthesize top-k programs for a flat CSG file
+    szalinski flatten design.scad              # flatten an OpenSCAD design to flat CSG
+    szalinski table1 --jobs 4 --cache .cache   # Table 1 as a parallel, cache-aware batch run
+    szalinski bench gear                       # run one benchmark by name
+    szalinski batch a.csg b.csg --jobs 2       # batch-synthesize many flat CSG files
+
+The synthesis knobs (``--epsilon``, ``--top-k``, ``--cost``,
+``--rewrite-iterations``, ``--max-enodes``, ``--max-seconds``,
+``--no-incremental``, ``--rules``) are global options threaded into
+:class:`~repro.core.config.SynthesisConfig` for ``synth`` and ``batch``.
+``table1`` and ``bench`` deliberately keep the paper's per-benchmark default
+configuration so their rows stay comparable to Table 1.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.benchsuite.suite import BENCHMARKS, benchmark_names, get_benchmark
-from repro.benchsuite.table1 import format_table, run_benchmark, run_table1
+from repro.benchsuite.table1 import (
+    format_table,
+    run_table1_batch,
+)
 from repro.core.config import SynthesisConfig
 from repro.core.pipeline import synthesize
+from repro.core.rules import rules_by_category
 from repro.csg.parser import parse_csg
 from repro.csg.pretty import format_openscad_like, format_term
 from repro.scad.flatten import flatten_source
+from repro.service.cache import ResultCache
+from repro.service.job import SynthesisJob
+from repro.service.service import SynthesisService
 from repro.verify.validate import validate_synthesis
 
 
+def _rule_categories(text: str) -> tuple:
+    """Argparse type for ``--rules``.
+
+    A comma-separated list of categories *replaces* the default set;
+    ``+category`` entries *extend* it instead (so ``--rules
+    +boolean-expansive`` is the opt-in the ROADMAP describes).  The two
+    forms cannot be mixed.
+    """
+    entries = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not entries:
+        raise argparse.ArgumentTypeError("expected at least one rule category")
+    additive = all(entry.startswith("+") for entry in entries)
+    if any(entry.startswith("+") for entry in entries) and not additive:
+        raise argparse.ArgumentTypeError(
+            "cannot mix replacing (CAT) and extending (+CAT) entries"
+        )
+    categories = tuple(entry.lstrip("+") for entry in entries)
+    known = set(rules_by_category())
+    unknown = [category for category in categories if category not in known]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown rule categories {', '.join(unknown)}; known: {', '.join(sorted(known))}"
+        )
+    if additive:
+        defaults = SynthesisConfig().rule_categories
+        return defaults + tuple(c for c in categories if c not in defaults)
+    return categories
+
+
 def _config_from_args(args: argparse.Namespace) -> SynthesisConfig:
-    return SynthesisConfig(
+    """Thread every exposed knob into a SynthesisConfig."""
+    kwargs = dict(
         epsilon=args.epsilon,
         top_k=args.top_k,
         cost_function=args.cost,
+        rewrite_iterations=args.rewrite_iterations,
+        max_enodes=args.max_enodes,
+        max_seconds=args.max_seconds,
+        incremental_search=not args.no_incremental,
     )
+    if args.rules is not None:
+        kwargs["rule_categories"] = args.rules
+    return SynthesisConfig(**kwargs)
+
+
+def _print_event(event) -> None:
+    print(str(event))
+
+
+def _write_report(path: Optional[str], payload: dict) -> None:
+    if path:
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -59,16 +121,93 @@ def _cmd_flatten(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    rows = run_table1()
-    print(format_table(rows))
-    return 0
+    cache = ResultCache(args.cache) if args.cache else None
+    report = run_table1_batch(
+        worker_count=args.jobs,
+        cache=cache,
+        on_event=_print_event if args.progress else None,
+    )
+    print(format_table(report.rows, report.failures))
+    if cache is not None and report.batch is not None:
+        print(
+            f"-- cache: {report.batch.cache_hits}/{len(report.batch.results)} jobs served "
+            f"({report.batch.cache['hit_rate'] * 100.0:.0f}% of lookups hit)"
+        )
+    _write_report(args.report, report.to_dict())
+    return 0 if report.ok else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     benchmark = get_benchmark(args.name)
-    row = run_benchmark(benchmark)
-    print(format_table([row]))
-    return 0
+    report = run_table1_batch([benchmark])
+    print(format_table(report.rows, report.failures))
+    return 0 if report.ok else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import traceback
+
+    from repro.service.job import JobResult, JobStatus
+
+    config = _config_from_args(args)
+    jobs = []
+    build_failures = []
+    for path in args.inputs:
+        # A file that cannot be read or parsed is isolated exactly like a
+        # job that fails later: one FAILED line, the batch keeps going.
+        try:
+            jobs.append(SynthesisJob.from_file(path, config, timeout=args.timeout))
+        except Exception:
+            build_failures.append(
+                JobResult(
+                    job_id=f"file:{path}",
+                    name=Path(path).stem,
+                    status=JobStatus.FAILED,
+                    error=traceback.format_exc(),
+                )
+            )
+    bench_names = list(args.bench)
+    if args.suite:
+        bench_names.extend(b.name for b in BENCHMARKS if b.name not in bench_names)
+    if bench_names:
+        from repro.benchsuite.table1 import benchmark_jobs
+
+        selection = [get_benchmark(name) for name in bench_names]
+        bench_jobs, bench_failures = benchmark_jobs(selection, timeout=args.timeout)
+        jobs.extend(bench_jobs)
+        build_failures.extend(bench_failures)
+    if not jobs and not build_failures:
+        print("batch: nothing to do (pass CSG files, --bench NAME, or --suite)")
+        return 2
+
+    cache = ResultCache(args.cache) if args.cache else None
+    service = SynthesisService(worker_count=args.jobs, cache=cache, on_event=_print_event)
+    batch = service.run_batch(jobs)
+
+    failures = build_failures + batch.failed
+    for result in batch.results:
+        if result.ok:
+            best = result.result.best
+            origin = "cache" if result.cached else f"{result.seconds:.2f}s"
+            print(
+                f"ok     {result.name:<20} cost {best.cost:g} "
+                f"loops {result.result.loop_summary():<8} [{origin}]"
+            )
+    for failure in failures:
+        print(f"FAILED {failure.name:<20} [{failure.status.value}] {failure.error_summary()}")
+    hit_note = (
+        f", {batch.cache_hits} from cache ({batch.cache['hit_rate'] * 100.0:.0f}% hit rate)"
+        if cache is not None
+        else ""
+    )
+    print(
+        f"-- {len(batch.succeeded)}/{len(jobs) + len(build_failures)} jobs succeeded in "
+        f"{batch.seconds:.2f}s with {args.jobs} worker(s){hit_note}"
+    )
+    payload = batch.to_dict()
+    payload["build_failures"] = [failure.to_dict() for failure in build_failures]
+    _write_report(args.report, payload)
+    return 0 if not failures else 1
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -89,6 +228,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--cost", choices=("ast-size", "reward-loops"), default="ast-size",
         help="extraction cost function",
     )
+    parser.add_argument(
+        "--rewrite-iterations", type=int, default=SynthesisConfig.rewrite_iterations,
+        help="inner saturation iteration limit",
+    )
+    parser.add_argument(
+        "--max-enodes", type=int, default=SynthesisConfig.max_enodes,
+        help="e-graph node budget for saturation",
+    )
+    parser.add_argument(
+        "--max-seconds", type=float, default=SynthesisConfig.max_seconds,
+        help="saturation wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable the incremental trie e-matcher (use the naive sweep)",
+    )
+    parser.add_argument(
+        "--rules", type=_rule_categories, default=None, metavar="CAT[,CAT...]",
+        help=(
+            "rewrite-rule categories: a plain list REPLACES the default set, "
+            "while +CAT entries EXTEND it (e.g. --rules +boolean-expansive); "
+            f"known: {', '.join(sorted(rules_by_category()))}"
+        ),
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     synth = subparsers.add_parser("synth", help="synthesize programs for a flat CSG file")
@@ -100,12 +263,42 @@ def build_parser() -> argparse.ArgumentParser:
     flatten.add_argument("input", help="path to an OpenSCAD file")
     flatten.set_defaults(func=_cmd_flatten)
 
-    table1 = subparsers.add_parser("table1", help="reproduce Table 1 over the benchmark suite")
+    table1 = subparsers.add_parser(
+        "table1", help="reproduce Table 1 over the benchmark suite (batch service)"
+    )
+    table1.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0 = run in-process)",
+    )
+    table1.add_argument("--cache", help="content-addressed result cache directory")
+    table1.add_argument("--report", help="write a JSON report of the run")
+    table1.add_argument(
+        "--progress", action="store_true", help="stream per-model progress events"
+    )
     table1.set_defaults(func=_cmd_table1)
 
     bench = subparsers.add_parser("bench", help="run a single benchmark by name")
     bench.add_argument("name", choices=benchmark_names())
     bench.set_defaults(func=_cmd_bench)
+
+    batch = subparsers.add_parser(
+        "batch", help="batch-synthesize many flat CSG files and/or benchmarks"
+    )
+    batch.add_argument("inputs", nargs="*", help="flat CSG s-expression files")
+    batch.add_argument(
+        "--bench", action="append", default=[], choices=benchmark_names(),
+        metavar="NAME", help="add a bundled benchmark to the batch (repeatable)",
+    )
+    batch.add_argument(
+        "--suite", action="store_true", help="add the whole 16-model benchmark suite"
+    )
+    batch.add_argument(
+        "--jobs", type=int, default=0, help="worker processes (0 = run in-process)"
+    )
+    batch.add_argument("--cache", help="content-addressed result cache directory")
+    batch.add_argument("--timeout", type=float, default=None, help="per-job timeout in seconds")
+    batch.add_argument("--report", help="write a JSON batch report")
+    batch.set_defaults(func=_cmd_batch)
 
     lister = subparsers.add_parser("list", help="list the benchmark suite")
     lister.set_defaults(func=_cmd_list)

@@ -8,10 +8,11 @@ role of the algorithm's ``fuel`` argument.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Tuple
 
 from repro.egraph.runner import BackoffConfig
+from repro.lang.canon import payload_fingerprint
 from repro.solvers.closed_form import SolverConfig
 
 #: The engine's scheduler defaults; mirrored here so SynthesisConfig and
@@ -84,6 +85,45 @@ class SynthesisConfig:
 
     def with_cost_function(self, name: str) -> "SynthesisConfig":
         """A copy of this config using a different cost function."""
-        from dataclasses import replace
-
         return replace(self, cost_function=name)
+
+    # -- serialization (worker protocol + result cache) ------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """All knobs as a JSON-able dict (tuples become lists)."""
+        out: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            out[spec.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SynthesisConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected loudly (a cache written by a newer version
+        must not be silently reinterpreted); missing keys take the defaults.
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SynthesisConfig fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        if "rule_categories" in kwargs:
+            kwargs["rule_categories"] = tuple(kwargs["rule_categories"])
+        return cls(**kwargs)
+
+    def semantic_dict(self) -> Dict[str, object]:
+        """The fields that can change *what* is synthesized (cache identity).
+
+        ``incremental_search`` is excluded: it only changes how e-matching is
+        scheduled, and the differential suite pins its results as identical
+        to the naive sweep's — so both settings may share cache entries.
+        """
+        out = self.to_dict()
+        out.pop("incremental_search")
+        return out
+
+    def fingerprint(self) -> str:
+        """Stable content-address of the semantically relevant fields."""
+        return payload_fingerprint(self.semantic_dict())

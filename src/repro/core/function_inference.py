@@ -45,6 +45,27 @@ class InferenceRecord:
     list_class: int
     nesting: int = 1
 
+    def to_dict(self) -> dict:
+        """JSON-able snapshot (tuples become lists)."""
+        return {
+            "kind": self.kind,
+            "loop_bounds": list(self.loop_bounds),
+            "function_kinds": list(self.function_kinds),
+            "list_class": self.list_class,
+            "nesting": self.nesting,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "InferenceRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return InferenceRecord(
+            kind=data["kind"],
+            loop_bounds=tuple(data["loop_bounds"]),
+            function_kinds=tuple(data["function_kinds"]),
+            list_class=data["list_class"],
+            nesting=data.get("nesting", 1),
+        )
+
 
 @dataclass
 class LayerSolution:

@@ -30,6 +30,7 @@ from repro.egraph.egraph import EGraph
 from repro.egraph.extract import TopKExtractor
 from repro.egraph.pattern import CompiledRuleSet
 from repro.egraph.runner import BackoffConfig, Runner, RunnerLimits, RunReport
+from repro.lang.canon import canonical_term_text, term_from_canonical
 from repro.lang.term import Term
 
 
@@ -45,6 +46,17 @@ class CandidateProgram:
     def has_loops(self) -> bool:
         """True when the program exposes structure via Fold/Map/Mapi/Repeat."""
         return uses_loops(self.term)
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot; the term is stored as canonical s-expression text."""
+        return {"rank": self.rank, "cost": self.cost, "term": canonical_term_text(self.term)}
+
+    @staticmethod
+    def from_dict(data: dict) -> "CandidateProgram":
+        """Rebuild a candidate from :meth:`to_dict` output."""
+        return CandidateProgram(
+            rank=data["rank"], cost=data["cost"], term=term_from_canonical(data["term"])
+        )
 
 
 @dataclass
@@ -114,6 +126,43 @@ class SynthesisResult:
 
         kinds = function_kinds(self.output_term())
         return ", ".join(kinds) or "-"
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-able snapshot of the whole result.
+
+        Terms are stored as canonical s-expression text (exact float
+        round-trip), so ``from_dict(to_dict())`` reproduces every metric,
+        summary, and candidate this result can report.  This is the format
+        the batch service's workers ship across process boundaries and the
+        content-addressed disk cache persists.
+        """
+        return {
+            "input_term": canonical_term_text(self.input_term),
+            "candidates": [candidate.to_dict() for candidate in self.candidates],
+            "inference_records": [record.to_dict() for record in self.inference_records],
+            "run_reports": [report.to_dict() for report in self.run_reports],
+            "seconds": self.seconds,
+            "config": self.config.to_dict() if self.config is not None else None,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SynthesisResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        from repro.core.config import SynthesisConfig
+
+        config = data.get("config")
+        return SynthesisResult(
+            input_term=term_from_canonical(data["input_term"]),
+            candidates=[CandidateProgram.from_dict(c) for c in data["candidates"]],
+            inference_records=[
+                InferenceRecord.from_dict(r) for r in data.get("inference_records", [])
+            ],
+            run_reports=[RunReport.from_dict(r) for r in data.get("run_reports", [])],
+            seconds=data.get("seconds", 0.0),
+            config=SynthesisConfig.from_dict(config) if config is not None else None,
+        )
 
 
 def synthesize(

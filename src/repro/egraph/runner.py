@@ -168,6 +168,17 @@ class IterationReport:
     def total_firings(self) -> int:
         return sum(self.firings.values())
 
+    def to_dict(self) -> dict:
+        """JSON-able snapshot (every field is a scalar, list, or str-keyed dict)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "IterationReport":
+        """Rebuild an iteration report from :meth:`to_dict` output."""
+        return IterationReport(**data)
+
 
 @dataclass
 class RunReport:
@@ -184,6 +195,23 @@ class RunReport:
     @property
     def total_firings(self) -> int:
         return sum(it.total_firings for it in self.iterations)
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot; the stop reason is stored by enum value."""
+        return {
+            "stop_reason": self.stop_reason.value,
+            "seconds": self.seconds,
+            "iterations": [it.to_dict() for it in self.iterations],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunReport":
+        """Rebuild a run report from :meth:`to_dict` output."""
+        return RunReport(
+            stop_reason=StopReason(data["stop_reason"]),
+            seconds=data.get("seconds", 0.0),
+            iterations=[IterationReport.from_dict(it) for it in data.get("iterations", [])],
+        )
 
 
 class Runner:

@@ -6,6 +6,14 @@ reader/printer compatible with the serialization format the paper uses
 (Janestreet-style s-expressions).
 """
 
+from repro.lang.canon import (
+    canonical_term_text,
+    fingerprint_bytes,
+    fingerprint_text,
+    payload_fingerprint,
+    term_fingerprint,
+    term_from_canonical,
+)
 from repro.lang.sexp import Sexp, parse_sexp, parse_many, format_sexp, SexpError
 from repro.lang.term import Term, TermError
 
@@ -17,4 +25,10 @@ __all__ = [
     "format_sexp",
     "Term",
     "TermError",
+    "canonical_term_text",
+    "term_from_canonical",
+    "term_fingerprint",
+    "fingerprint_bytes",
+    "fingerprint_text",
+    "payload_fingerprint",
 ]

@@ -54,6 +54,14 @@ class Term:
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("Term is immutable")
 
+    def __reduce__(self):
+        # Pickle via the constructor: the default slot-based protocol would
+        # call __setattr__ (which raises), and rebuilding through __init__
+        # also revalidates and recomputes the cached hash in the receiving
+        # process.  This is what lets synthesis results cross the batch
+        # service's worker-process boundary.
+        return (Term, (self.op, self.children))
+
     # -- construction helpers -------------------------------------------------
 
     @staticmethod

@@ -1,0 +1,33 @@
+"""Batch synthesis service.
+
+Turns the one-shot :func:`repro.core.pipeline.synthesize` entry point into a
+throughput-oriented service: a priority :class:`~repro.service.queue.JobQueue`
+of :class:`~repro.service.job.SynthesisJob`\\ s, a process-parallel
+:class:`~repro.service.worker.WorkerPool` with per-job failure isolation and
+hard timeouts, and a content-addressed two-tier
+:class:`~repro.service.cache.ResultCache`, orchestrated by
+:class:`~repro.service.service.SynthesisService`.
+
+See the top-level ``README.md`` for the architecture and the cache layout.
+"""
+
+from repro.service.cache import ResultCache, cache_key
+from repro.service.job import JobEvent, JobResult, JobStatus, SynthesisJob
+from repro.service.queue import JobQueue
+from repro.service.service import BatchReport, SynthesisService
+from repro.service.worker import WorkerPool, execute_payload, run_jobs_inline
+
+__all__ = [
+    "BatchReport",
+    "JobEvent",
+    "JobQueue",
+    "JobResult",
+    "JobStatus",
+    "ResultCache",
+    "SynthesisJob",
+    "SynthesisService",
+    "WorkerPool",
+    "cache_key",
+    "execute_payload",
+    "run_jobs_inline",
+]

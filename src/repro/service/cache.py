@@ -1,0 +1,152 @@
+"""Content-addressed result cache: in-memory LRU over an on-disk tier.
+
+Entries are keyed by :func:`cache_key` — the SHA-256 of the input term's
+canonical serialization combined with the fingerprint of the semantically
+relevant :class:`~repro.core.config.SynthesisConfig` fields (see
+``SynthesisConfig.semantic_dict``).  Keys are therefore stable across
+processes and sessions: a warm re-run of the whole benchmark suite, even
+from a fresh interpreter, finds every entry again.
+
+The value stored is the JSON form of
+:meth:`repro.core.pipeline.SynthesisResult.to_dict`.  Layout on disk::
+
+    <directory>/<first two hex chars>/<full 64-char key>.json
+
+Writes go through a temporary file + ``os.replace`` so a crashed or killed
+worker driver never leaves a torn entry behind; unreadable entries are
+treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.config import SynthesisConfig
+from repro.lang.canon import fingerprint_text, term_fingerprint
+from repro.lang.term import Term
+
+
+def cache_key(term: Term, config: SynthesisConfig) -> str:
+    """The content-address of a (input term, synthesis config) pair."""
+    return fingerprint_text(f"{term_fingerprint(term)}:{config.fingerprint()}")
+
+
+class ResultCache:
+    """Two-tier cache: an LRU dict in memory, sharded JSON files on disk.
+
+    ``directory=None`` disables the disk tier (memory-only cache);
+    ``memory_capacity=0`` disables the memory tier (every hit re-reads
+    disk).  Hit/miss counters are per-instance: a fresh instance over a
+    populated directory starts at zero, which is what lets a warm re-run
+    report its own 100% hit rate.
+    """
+
+    def __init__(self, directory=None, memory_capacity: int = 128):
+        self.directory = Path(directory) if directory is not None else None
+        self.memory_capacity = memory_capacity
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.stores = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or None (counted as a miss)."""
+        payload = self._memory.get(key)
+        if payload is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            self.memory_hits += 1
+            return payload
+        payload = self._read_disk(key)
+        if payload is not None:
+            self._remember(key, payload)
+            self.hits += 1
+            self.disk_hits += 1
+            return payload
+        self.misses += 1
+        return None
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store ``payload`` under ``key`` in both tiers."""
+        self._remember(key, payload)
+        self._write_disk(key, payload)
+        self.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        """Presence check that does not touch the hit/miss counters."""
+        return key in self._memory or (self._path(key) is not None and self._path(key).exists())
+
+    # -- tiers ----------------------------------------------------------------
+
+    def _remember(self, key: str, payload: dict) -> None:
+        if self.memory_capacity <= 0:
+            return
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_capacity:
+            self._memory.popitem(last=False)
+
+    def _path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / key[:2] / f"{key}.json"
+
+    def _read_disk(self, key: str) -> Optional[dict]:
+        path = self._path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            # A torn or corrupt entry is as good as absent; drop it so the
+            # slot can be rewritten cleanly.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _write_disk(self, key: str, payload: dict) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ``get`` calls served from either tier (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def disk_entries(self) -> int:
+        """Number of entries currently persisted on disk."""
+        if self.directory is None or not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def stats(self) -> Dict[str, object]:
+        """A JSON-able counter snapshot (what batch reports embed)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+            "memory_entries": len(self._memory),
+            "disk_entries": self.disk_entries(),
+            "directory": str(self.directory) if self.directory is not None else None,
+        }

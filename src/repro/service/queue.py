@@ -1,0 +1,53 @@
+"""Priority queue of pending synthesis jobs.
+
+A thin heap wrapper with the service's scheduling contract: jobs pop in
+descending :attr:`~repro.service.job.SynthesisJob.priority` order, and jobs
+of equal priority pop in submission (FIFO) order.  The queue is a pure
+scheduling structure — it never executes anything; the
+:class:`~repro.service.service.SynthesisService` drains it into workers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterable, List
+
+from repro.service.job import SynthesisJob
+
+
+class JobQueue:
+    """Pending jobs, ordered by (priority desc, submission order asc)."""
+
+    def __init__(self, jobs: Iterable[SynthesisJob] = ()):
+        self._heap: List[tuple] = []
+        self._tiebreak = itertools.count()
+        self.extend(jobs)
+
+    def push(self, job: SynthesisJob) -> None:
+        """Add one job."""
+        heapq.heappush(self._heap, (-job.priority, next(self._tiebreak), job))
+
+    def extend(self, jobs: Iterable[SynthesisJob]) -> None:
+        """Add many jobs, preserving their order as the FIFO tiebreak."""
+        for job in jobs:
+            self.push(job)
+
+    def pop(self) -> SynthesisJob:
+        """Remove and return the next job to run."""
+        if not self._heap:
+            raise IndexError("pop from an empty JobQueue")
+        return heapq.heappop(self._heap)[-1]
+
+    def drain(self) -> List[SynthesisJob]:
+        """Pop everything, in scheduling order."""
+        out = []
+        while self._heap:
+            out.append(self.pop())
+        return out
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,166 @@
+"""The batch synthesis service: cache check → worker fan-out → report.
+
+:class:`SynthesisService` is the orchestration layer the CLI and the Table 1
+harness sit on.  For every submitted job it:
+
+1. probes the content-addressed :class:`~repro.service.cache.ResultCache`
+   (when one is attached) — a hit short-circuits the job entirely and is
+   reported with ``cached=True``;
+2. dispatches the misses to a :class:`~repro.service.worker.WorkerPool`
+   (``worker_count >= 1``) or the inline executor (``worker_count == 0``),
+   streaming :class:`~repro.service.job.JobEvent`\\ s to the caller;
+3. writes every fresh success back into the cache and assembles a
+   :class:`BatchReport` with per-job outcomes in submission order.
+
+Failures never propagate: a job that raises, crashes its worker, or blows
+its timeout is a failed entry in the report, and the rest of the batch is
+unaffected.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.pipeline import SynthesisResult
+from repro.service.cache import ResultCache, cache_key
+from repro.service.job import JobEvent, JobResult, JobStatus, SynthesisJob
+from repro.service.worker import EventCallback, WorkerPool, run_jobs_inline, _emit
+
+
+@dataclass
+class BatchReport:
+    """Everything one batch run produced."""
+
+    #: Per-job outcomes, in submission order (not completion order).
+    results: List[JobResult]
+    #: Wall-clock seconds for the whole batch.
+    seconds: float = 0.0
+    #: Worker processes used (0 = inline execution).
+    worker_count: int = 0
+    #: Cache counter snapshot for this run ({} when no cache was attached).
+    cache: Dict[str, object] = field(default_factory=dict)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def succeeded(self) -> List[JobResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failed(self) -> List[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of jobs served from the cache (0.0 without a cache)."""
+        return self.cache_hits / len(self.results) if self.results else 0.0
+
+    def result_for(self, name: str) -> Optional[JobResult]:
+        """The first job result with the given name, if any."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-able report (per-job outcomes are compact summaries)."""
+        return {
+            "seconds": self.seconds,
+            "worker_count": self.worker_count,
+            "jobs": len(self.results),
+            "succeeded": len(self.succeeded),
+            "failed": len(self.failed),
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+            "cache": self.cache,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+
+class SynthesisService:
+    """Throughput-oriented front end over the one-shot synthesis pipeline."""
+
+    def __init__(
+        self,
+        worker_count: int = 0,
+        cache: Optional[ResultCache] = None,
+        on_event: Optional[EventCallback] = None,
+    ):
+        if worker_count < 0:
+            raise ValueError("worker_count must be >= 0")
+        self.worker_count = worker_count
+        self.cache = cache
+        self.on_event = on_event
+
+    def run_batch(self, jobs: Sequence[SynthesisJob]) -> BatchReport:
+        """Run a batch of jobs and return their outcomes in submission order."""
+        jobs = [self._normalize(job) for job in jobs]
+        start = time.perf_counter()
+        results: Dict[str, JobResult] = {}
+
+        to_run: List[SynthesisJob] = []
+        keys: Dict[str, str] = {}
+        for job in jobs:
+            if self.cache is not None:
+                key = cache_key(job.term, job.config)
+                keys[job.job_id] = key
+                payload = self.cache.get(key)
+                if payload is not None:
+                    results[job.job_id] = JobResult(
+                        job_id=job.job_id,
+                        name=job.name,
+                        status=JobStatus.SUCCEEDED,
+                        result=SynthesisResult.from_dict(payload),
+                        cached=True,
+                    )
+                    _emit(self.on_event, JobEvent("cache-hit", job.job_id, job.name))
+                    continue
+            to_run.append(job)
+
+        if to_run:
+            if self.worker_count == 0:
+                executed = run_jobs_inline(to_run, self.on_event)
+            else:
+                executed = WorkerPool(self.worker_count).run(to_run, self.on_event)
+            for job in to_run:
+                outcome = executed[job.job_id]
+                results[job.job_id] = outcome
+                if self.cache is not None and outcome.ok:
+                    # The worker already shipped the result as its to_dict()
+                    # form; store that verbatim instead of re-serializing.
+                    payload = outcome.result_payload or outcome.result.to_dict()
+                    self.cache.put(keys[job.job_id], payload)
+
+        return BatchReport(
+            results=[results[job.job_id] for job in jobs],
+            seconds=time.perf_counter() - start,
+            worker_count=self.worker_count,
+            cache=self.cache.stats() if self.cache is not None else {},
+        )
+
+    @staticmethod
+    def _normalize(job: SynthesisJob) -> SynthesisJob:
+        """Fold a job's timeout into its config *before* cache keying.
+
+        The timeout clamps the saturation fuel (``max_seconds``) inside the
+        worker, which can change the synthesized result — so it must be part
+        of the cache identity.  Normalizing here means a timeout-truncated
+        run is stored under the clamped config's key and can never be served
+        to a later run with a bigger budget.
+        """
+        if job.timeout is None or job.timeout >= job.config.max_seconds:
+            return job
+        return replace(job, config=replace(job.config, max_seconds=job.timeout))
+
+    # -- convenience -----------------------------------------------------------
+
+    def run_files(self, paths: Sequence, config=None, **job_kwargs) -> BatchReport:
+        """Batch-synthesize a list of flat-CSG files."""
+        jobs = [SynthesisJob.from_file(path, config, **job_kwargs) for path in paths]
+        return self.run_batch(jobs)

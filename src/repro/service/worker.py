@@ -1,0 +1,282 @@
+"""Process-parallel execution of synthesis jobs.
+
+The unit of execution is :func:`execute_payload`: a pure function from a
+job's JSON-able payload to a JSON-able outcome dict.  It never raises — any
+exception inside the pipeline is captured as a ``"failed"`` outcome with the
+full traceback — so the contract between parent and worker is "a dict always
+comes back (unless the process itself died)".
+
+:class:`WorkerPool` fans payloads out across OS processes, one process per
+job (filled up to ``worker_count`` concurrent slots).  A fresh process per
+job is the isolation boundary the batch service needs: a job that corrupts
+interpreter state, leaks memory, segfaults, or hits its hard timeout takes
+down only its own process; the parent reaps the corpse and reports a
+failed/timed-out :class:`~repro.service.job.JobResult` while the rest of the
+batch keeps running.
+
+:func:`run_jobs_inline` is the zero-process executor used for ``--jobs 0``
+(and by unit tests): same scheduling order and error capture, but timeouts
+are only honored cooperatively (the config's ``max_seconds`` fuel is
+clamped) since there is no process to kill.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, replace
+from multiprocessing.connection import wait as connection_wait
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.service.job import JobEvent, JobResult, JobStatus, SynthesisJob
+from repro.service.queue import JobQueue
+
+#: Event callback signature: receives every JobEvent the executor emits.
+EventCallback = Callable[[JobEvent], None]
+
+
+def execute_payload(payload: dict) -> dict:
+    """Run one job payload to completion; always returns an outcome dict.
+
+    Outcomes are ``{"job_id", "name", "seconds", "status": "succeeded",
+    "result": <SynthesisResult.to_dict()>}`` or ``{"status": "failed",
+    "error": <traceback text>}``.  Imports are deliberately local so a
+    freshly spawned worker only pays for the pipeline once it actually runs.
+    """
+    import traceback
+
+    start = time.perf_counter()
+    base = {"job_id": payload["job_id"], "name": payload["name"]}
+    try:
+        from repro.core.config import SynthesisConfig
+        from repro.core.pipeline import synthesize
+        from repro.lang.canon import term_from_canonical
+
+        term = term_from_canonical(payload["term"])
+        config = SynthesisConfig.from_dict(payload["config"])
+        timeout = payload.get("timeout")
+        if timeout is not None:
+            # Cooperative deadline: the saturation fuel cannot exceed the
+            # job's budget.  The hard deadline (process kill) is the pool's.
+            config = replace(config, max_seconds=min(config.max_seconds, timeout))
+        result = synthesize(term, config)
+        return {
+            **base,
+            "status": "succeeded",
+            "seconds": time.perf_counter() - start,
+            "result": result.to_dict(),
+        }
+    except Exception:
+        return {
+            **base,
+            "status": "failed",
+            "seconds": time.perf_counter() - start,
+            "error": traceback.format_exc(),
+        }
+
+
+def _worker_entry(payload: dict, conn) -> None:
+    """Child-process entry point: run the payload, ship the outcome back."""
+    try:
+        outcome = execute_payload(payload)
+    except BaseException:  # pragma: no cover - execute_payload already catches
+        import traceback
+
+        outcome = {
+            "job_id": payload.get("job_id", "?"),
+            "name": payload.get("name", "?"),
+            "status": "failed",
+            "seconds": 0.0,
+            "error": traceback.format_exc(),
+        }
+    try:
+        conn.send(outcome)
+    finally:
+        conn.close()
+
+
+def _result_from_outcome(job: SynthesisJob, outcome: dict, seconds: float) -> JobResult:
+    """Convert a worker outcome dict into a JobResult."""
+    from repro.core.pipeline import SynthesisResult
+
+    if outcome["status"] == "succeeded":
+        return JobResult(
+            job_id=job.job_id,
+            name=job.name,
+            status=JobStatus.SUCCEEDED,
+            result=SynthesisResult.from_dict(outcome["result"]),
+            seconds=seconds,
+            result_payload=outcome["result"],
+        )
+    return JobResult(
+        job_id=job.job_id,
+        name=job.name,
+        status=JobStatus.FAILED,
+        error=outcome.get("error", "worker reported failure without a traceback"),
+        seconds=seconds,
+    )
+
+
+def _emit(on_event: Optional[EventCallback], event: JobEvent) -> None:
+    if on_event is not None:
+        on_event(event)
+
+
+def run_jobs_inline(
+    jobs: Sequence[SynthesisJob], on_event: Optional[EventCallback] = None
+) -> Dict[str, JobResult]:
+    """Execute jobs in this process, in scheduling order, with error capture."""
+    results: Dict[str, JobResult] = {}
+    for job in JobQueue(jobs).drain():
+        _emit(on_event, JobEvent("start", job.job_id, job.name))
+        start = time.perf_counter()
+        outcome = execute_payload(job.payload())
+        elapsed = time.perf_counter() - start
+        result = _result_from_outcome(job, outcome, elapsed)
+        results[job.job_id] = result
+        kind = "done" if result.ok else "failed"
+        _emit(on_event, JobEvent(kind, job.job_id, job.name, elapsed, result.error_summary()))
+    return results
+
+
+@dataclass
+class _Slot:
+    """One running worker process and its bookkeeping."""
+
+    job: SynthesisJob
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    started: float
+    deadline: Optional[float]
+
+
+class WorkerPool:
+    """Fans jobs out across processes, up to ``worker_count`` at a time."""
+
+    def __init__(self, worker_count: int, start_method: Optional[str] = None):
+        if worker_count < 1:
+            raise ValueError("worker_count must be >= 1 (use run_jobs_inline for 0)")
+        self.worker_count = worker_count
+        if start_method is None:
+            # Fork (where available) keeps per-job startup cheap: the child
+            # inherits the already-imported pipeline instead of re-importing.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._context = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(
+        self, jobs: Sequence[SynthesisJob], on_event: Optional[EventCallback] = None
+    ) -> Dict[str, JobResult]:
+        """Run every job; returns results keyed by job id.
+
+        Jobs are dispatched in queue order (priority desc, then FIFO).  The
+        call returns only when every job has succeeded, failed, crashed, or
+        been killed at its deadline.
+        """
+        queue = JobQueue(jobs)
+        running: List[_Slot] = []
+        results: Dict[str, JobResult] = {}
+        try:
+            while queue or running:
+                while queue and len(running) < self.worker_count:
+                    running.append(self._launch(queue.pop(), on_event))
+                self._reap(running, results, on_event)
+        finally:
+            # Belt and braces: never leave orphaned workers behind if the
+            # driver itself is interrupted.
+            for slot in running:
+                if slot.process.is_alive():
+                    slot.process.terminate()
+                slot.process.join()
+        return results
+
+    # -- internals -------------------------------------------------------------
+
+    def _launch(self, job: SynthesisJob, on_event: Optional[EventCallback]) -> _Slot:
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_worker_entry, args=(job.payload(), child_conn), daemon=True
+        )
+        process.start()
+        child_conn.close()  # the parent's copy; the child holds its own
+        _emit(on_event, JobEvent("start", job.job_id, job.name))
+        now = time.perf_counter()
+        deadline = now + job.timeout if job.timeout is not None else None
+        return _Slot(job=job, process=process, conn=parent_conn, started=now, deadline=deadline)
+
+    def _wait_timeout(self, running: Sequence[_Slot]) -> Optional[float]:
+        deadlines = [slot.deadline for slot in running if slot.deadline is not None]
+        if not deadlines:
+            return None  # block until some worker reports (or dies: EOF readies its pipe)
+        return max(0.0, min(deadlines) - time.perf_counter())
+
+    def _reap(
+        self,
+        running: List[_Slot],
+        results: Dict[str, JobResult],
+        on_event: Optional[EventCallback],
+    ) -> None:
+        """Wait for progress, then collect finished / crashed / expired slots."""
+        if not running:
+            return
+        ready = set(connection_wait([slot.conn for slot in running], self._wait_timeout(running)))
+        now = time.perf_counter()
+        for slot in list(running):
+            if slot.conn in ready:
+                results[slot.job.job_id] = self._collect(slot, now, on_event)
+                running.remove(slot)
+            elif slot.deadline is not None and now >= slot.deadline:
+                results[slot.job.job_id] = self._kill_expired(slot, now, on_event)
+                running.remove(slot)
+
+    def _collect(
+        self, slot: _Slot, now: float, on_event: Optional[EventCallback]
+    ) -> JobResult:
+        """A worker's pipe is readable: either an outcome or an EOF (crash)."""
+        job = slot.job
+        elapsed = now - slot.started
+        try:
+            outcome = slot.conn.recv()
+        except EOFError:
+            outcome = None
+        slot.conn.close()
+        slot.process.join()
+        if outcome is None:
+            result = JobResult(
+                job_id=job.job_id,
+                name=job.name,
+                status=JobStatus.FAILED,
+                error=(
+                    f"worker process died without reporting "
+                    f"(exit code {slot.process.exitcode})"
+                ),
+                seconds=elapsed,
+            )
+        else:
+            # Prefer the worker's own timing (excludes fork/dispatch overhead).
+            result = _result_from_outcome(job, outcome, outcome.get("seconds", elapsed))
+        kind = "done" if result.ok else "failed"
+        _emit(on_event, JobEvent(kind, job.job_id, job.name, result.seconds, result.error_summary()))
+        return result
+
+    def _kill_expired(
+        self, slot: _Slot, now: float, on_event: Optional[EventCallback]
+    ) -> JobResult:
+        """Hard deadline: terminate the worker and report a timeout."""
+        job = slot.job
+        slot.process.terminate()
+        slot.process.join()
+        slot.conn.close()
+        elapsed = now - slot.started
+        result = JobResult(
+            job_id=job.job_id,
+            name=job.name,
+            status=JobStatus.TIMEOUT,
+            error=f"killed after exceeding the {job.timeout:g}s job timeout",
+            seconds=elapsed,
+        )
+        _emit(on_event, JobEvent("timeout", job.job_id, job.name, elapsed, result.error_summary()))
+        return result

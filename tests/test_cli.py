@@ -1,8 +1,11 @@
 """Tests for the ``szalinski`` command-line interface."""
 
+import dataclasses
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _config_from_args, build_parser, main
 from repro.csg.build import translate, union_all, unit
 from repro.csg.pretty import format_term
 
@@ -41,6 +44,58 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "not-a-benchmark"])
 
+    def test_engine_knobs_thread_into_the_config(self):
+        args = build_parser().parse_args(
+            [
+                "--rewrite-iterations", "7",
+                "--max-enodes", "12345",
+                "--max-seconds", "9.5",
+                "--no-incremental",
+                "--rules", "folds,boolean,boolean-expansive",
+                "list",
+            ]
+        )
+        config = _config_from_args(args)
+        assert config.rewrite_iterations == 7
+        assert config.max_enodes == 12345
+        assert config.max_seconds == 9.5
+        assert config.incremental_search is False
+        assert config.rule_categories == ("folds", "boolean", "boolean-expansive")
+
+    def test_engine_knob_defaults_match_synthesis_config(self):
+        from repro.core.config import SynthesisConfig
+
+        args = build_parser().parse_args(["list"])
+        assert _config_from_args(args) == SynthesisConfig()
+
+    def test_rules_rejects_unknown_category(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--rules", "folds,not-a-category", "list"])
+
+    def test_rules_plus_syntax_extends_the_defaults(self):
+        from repro.core.config import SynthesisConfig
+
+        args = build_parser().parse_args(["--rules", "+boolean-expansive", "list"])
+        config = _config_from_args(args)
+        assert config.rule_categories == (
+            SynthesisConfig().rule_categories + ("boolean-expansive",)
+        )
+
+    def test_rules_rejects_mixed_replace_and_extend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--rules", "folds,+boolean-expansive", "list"])
+
+    def test_batch_options(self):
+        args = build_parser().parse_args(
+            ["batch", "a.csg", "--bench", "gear", "--jobs", "3",
+             "--cache", "/tmp/c", "--timeout", "2.5"]
+        )
+        assert args.inputs == ["a.csg"]
+        assert args.bench == ["gear"]
+        assert args.jobs == 3
+        assert args.cache == "/tmp/c"
+        assert args.timeout == 2.5
+
 
 class TestCommands:
     def test_synth_prints_candidates(self, csg_file, capsys):
@@ -77,3 +132,72 @@ class TestCommands:
         assert exit_code == 0
         assert "relay-box" in captured
         assert "average size reduction" in captured
+
+    def test_bench_isolates_a_crashing_model(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+        from repro.benchsuite.suite import get_benchmark
+
+        def explode():
+            raise RuntimeError("synthetic builder crash")
+
+        broken = dataclasses.replace(get_benchmark("relay-box"), build=explode)
+        monkeypatch.setattr(cli_module, "get_benchmark", lambda name: broken)
+        exit_code = main(["bench", "relay-box"])
+        captured = capsys.readouterr().out
+        assert exit_code == 1
+        assert "FAILED relay-box" in captured
+        assert "synthetic builder crash" in captured
+        # The failure is a summary line, not a dumped traceback.
+        assert "Traceback" not in captured
+
+
+class TestBatchCommand:
+    @pytest.fixture
+    def csg_files(self, tmp_path):
+        paths = []
+        for n in (3, 4):
+            flat = union_all([translate(2.0 * (i + 1), 0, 0, unit()) for i in range(n)])
+            path = tmp_path / f"chain{n}.csg"
+            path.write_text(format_term(flat))
+            paths.append(str(path))
+        return paths
+
+    def test_batch_requires_inputs(self, capsys):
+        exit_code = main(["batch"])
+        assert exit_code == 2
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_batch_runs_files_and_reports(self, csg_files, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        exit_code = main(["batch", *csg_files, "--report", str(report_path)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ok     chain3" in captured and "ok     chain4" in captured
+        assert "2/2 jobs succeeded" in captured
+        payload = json.loads(report_path.read_text())
+        assert payload["succeeded"] == 2 and payload["failed"] == 0
+
+    def test_batch_warm_cache_serves_every_job(self, csg_files, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", *csg_files, "--cache", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["batch", *csg_files, "--cache", cache_dir]) == 0
+        captured = capsys.readouterr().out
+        assert "[cache-hit]" in captured
+        assert "2 from cache (100% hit rate)" in captured
+
+    def test_batch_isolates_a_bad_input_file(self, csg_files, tmp_path, capsys):
+        bad = tmp_path / "bad.csg"
+        bad.write_text("(Union (Cube)")  # unbalanced — fails at parse time
+        exit_code = main(["batch", csg_files[0], str(bad)])
+        captured = capsys.readouterr().out
+        assert exit_code == 1
+        assert "ok     chain3" in captured  # the good file still ran
+        assert "FAILED bad" in captured
+        assert "1/2 jobs succeeded" in captured
+
+    def test_batch_bench_selection(self, capsys):
+        exit_code = main(["batch", "--bench", "sander", "--bench", "soldering"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ok     sander" in captured and "ok     soldering" in captured

@@ -1,0 +1,335 @@
+"""Unit tests for the batch synthesis service.
+
+Covers the pieces individually — picklable results, the two-tier
+content-addressed cache, the priority queue — and the orchestration
+behaviors the subsystem exists for: process-parallel execution with per-job
+failure isolation (exceptions, worker crashes, hard timeouts) and
+cache-aware re-runs.
+"""
+
+import json
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.benchsuite.models import gear_model
+from repro.core.config import SynthesisConfig
+from repro.core.pipeline import SynthesisResult, synthesize
+from repro.csg.build import scale, translate, union_all, unit
+from repro.service import (
+    JobQueue,
+    JobStatus,
+    ResultCache,
+    SynthesisJob,
+    SynthesisService,
+    WorkerPool,
+    cache_key,
+    run_jobs_inline,
+)
+
+
+def _chain(n: int, step: float = 2.0):
+    """A small flat union chain (fast to synthesize)."""
+    return union_all([translate(step * (i + 1), 0.0, 0.0, unit()) for i in range(n)])
+
+
+# ---------------------------------------------------------------------------
+# Picklability / serialization of results (the worker-boundary contract)
+# ---------------------------------------------------------------------------
+
+
+class TestResultSerialization:
+    def test_terms_pickle_round_trip(self):
+        term = _chain(4)
+        assert pickle.loads(pickle.dumps(term)) == term
+
+    def test_synthesis_result_pickles(self):
+        result = synthesize(_chain(4), SynthesisConfig())
+        clone = pickle.loads(pickle.dumps(result))
+        assert [c.term for c in clone.candidates] == [c.term for c in result.candidates]
+        assert clone.loop_summary() == result.loop_summary()
+
+    def test_to_dict_round_trip_through_json(self):
+        result = synthesize(_chain(5), SynthesisConfig())
+        payload = json.loads(json.dumps(result.to_dict()))
+        clone = SynthesisResult.from_dict(payload)
+        assert [c.term for c in clone.candidates] == [c.term for c in result.candidates]
+        assert [c.cost for c in clone.candidates] == [c.cost for c in result.candidates]
+        assert clone.input_term == result.input_term
+        assert clone.loop_summary() == result.loop_summary()
+        assert clone.function_summary() == result.function_summary()
+        assert clone.structured_rank() == result.structured_rank()
+        assert clone.size_reduction() == result.size_reduction()
+        assert clone.config == result.config
+        assert [r.stop_reason for r in clone.run_reports] == [
+            r.stop_reason for r in result.run_reports
+        ]
+        assert clone.inference_records == result.inference_records
+        # Stability: serializing the clone reproduces the same payload.
+        assert clone.to_dict() == payload
+
+
+# ---------------------------------------------------------------------------
+# JobQueue scheduling contract
+# ---------------------------------------------------------------------------
+
+
+class TestJobQueue:
+    def test_priority_then_fifo(self):
+        term = _chain(2)
+        jobs = [
+            SynthesisJob(name="low-1", term=term, priority=0),
+            SynthesisJob(name="high", term=term, priority=10),
+            SynthesisJob(name="low-2", term=term, priority=0),
+            SynthesisJob(name="mid", term=term, priority=5),
+        ]
+        queue = JobQueue(jobs)
+        assert [job.name for job in queue.drain()] == ["high", "mid", "low-1", "low-2"]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            JobQueue().pop()
+
+
+# ---------------------------------------------------------------------------
+# ResultCache: LRU memory tier over a sharded disk tier
+# ---------------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_memory_lru_eviction(self):
+        cache = ResultCache(directory=None, memory_capacity=2)
+        cache.put("a" * 64, {"v": 1})
+        cache.put("b" * 64, {"v": 2})
+        cache.put("c" * 64, {"v": 3})  # evicts "a"
+        assert cache.get("a" * 64) is None
+        assert cache.get("b" * 64) == {"v": 2}
+        assert cache.get("c" * 64) == {"v": 3}
+        assert cache.misses == 1 and cache.hits == 2
+
+    def test_disk_tier_survives_a_fresh_instance(self, tmp_path):
+        key = "d" * 64
+        ResultCache(tmp_path).put(key, {"v": 42})
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) == {"v": 42}
+        assert fresh.disk_hits == 1 and fresh.hit_rate == 1.0
+        # Sharded layout: <dir>/<key[:2]>/<key>.json
+        assert (tmp_path / key[:2] / f"{key}.json").exists()
+
+    def test_memory_tier_promotes_disk_reads(self, tmp_path):
+        key = "e" * 64
+        ResultCache(tmp_path).put(key, {"v": 7})
+        cache = ResultCache(tmp_path)
+        cache.get(key)
+        cache.get(key)
+        assert cache.disk_hits == 1 and cache.memory_hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss_and_removed(self, tmp_path):
+        key = "f" * 64
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        cache = ResultCache(tmp_path)
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_contains_does_not_touch_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, {})
+        assert ("a" * 64) in cache and ("b" * 64) not in cache
+        assert cache.hits == 0 and cache.misses == 0
+
+
+# ---------------------------------------------------------------------------
+# Inline execution: error capture and event stream
+# ---------------------------------------------------------------------------
+
+
+class TestInlineExecution:
+    def test_failure_is_isolated_and_captured(self):
+        jobs = [
+            SynthesisJob(name="ok", term=_chain(3)),
+            SynthesisJob(
+                name="bad", term=_chain(3), config=SynthesisConfig(cost_function="no-such")
+            ),
+        ]
+        results = run_jobs_inline(jobs)
+        by_name = {r.name: r for r in results.values()}
+        assert by_name["ok"].status is JobStatus.SUCCEEDED
+        assert by_name["bad"].status is JobStatus.FAILED
+        assert "no-such" in by_name["bad"].error
+        assert "Traceback" in by_name["bad"].error
+
+    def test_events_follow_priority_order(self):
+        events = []
+        jobs = [
+            SynthesisJob(name="second", term=_chain(2), priority=0),
+            SynthesisJob(name="first", term=_chain(2), priority=9),
+        ]
+        run_jobs_inline(jobs, on_event=events.append)
+        assert [(e.kind, e.name) for e in events] == [
+            ("start", "first"), ("done", "first"), ("start", "second"), ("done", "second"),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Process workers: parity, crash isolation, hard timeouts
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_parallel_results_match_inline(self):
+        jobs = [SynthesisJob(name=f"chain-{n}", term=_chain(n)) for n in (3, 4, 5)]
+        inline = run_jobs_inline(jobs)
+        pooled = WorkerPool(2).run(jobs)
+        assert set(pooled) == set(inline)
+        for job_id, inline_result in inline.items():
+            pooled_result = pooled[job_id]
+            assert pooled_result.status is JobStatus.SUCCEEDED
+            assert [c.term for c in pooled_result.result.candidates] == [
+                c.term for c in inline_result.result.candidates
+            ]
+            assert [c.cost for c in pooled_result.result.candidates] == [
+                c.cost for c in inline_result.result.candidates
+            ]
+
+    def test_worker_exception_is_a_failed_job_not_a_sunk_batch(self):
+        jobs = [
+            SynthesisJob(
+                name="bad", term=_chain(3), config=SynthesisConfig(cost_function="no-such")
+            ),
+            SynthesisJob(name="ok", term=_chain(3)),
+        ]
+        results = WorkerPool(2).run(jobs)
+        by_name = {r.name: r for r in results.values()}
+        assert by_name["bad"].status is JobStatus.FAILED
+        assert "no-such" in by_name["bad"].error
+        assert by_name["ok"].status is JobStatus.SUCCEEDED
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="crash injection relies on fork inheriting the monkeypatch",
+    )
+    def test_worker_process_death_is_reported(self, monkeypatch):
+        import repro.service.worker as worker_module
+
+        def die(payload):
+            os._exit(13)
+
+        monkeypatch.setattr(worker_module, "execute_payload", die)
+        job = SynthesisJob(name="crasher", term=_chain(2))
+        results = WorkerPool(1, start_method="fork").run([job])
+        result = results[job.job_id]
+        assert result.status is JobStatus.FAILED
+        assert "exit code 13" in result.error
+
+    def test_hard_timeout_kills_the_worker(self):
+        events = []
+        jobs = [
+            SynthesisJob(name="slow", term=gear_model(), timeout=0.25),
+            SynthesisJob(name="quick", term=_chain(3)),
+        ]
+        results = WorkerPool(2).run(jobs, on_event=events.append)
+        by_name = {r.name: r for r in results.values()}
+        assert by_name["slow"].status is JobStatus.TIMEOUT
+        assert "timeout" in by_name["slow"].error
+        assert by_name["quick"].status is JobStatus.SUCCEEDED
+        assert any(e.kind == "timeout" and e.name == "slow" for e in events)
+
+
+# ---------------------------------------------------------------------------
+# SynthesisService orchestration: cache-first, then dispatch
+# ---------------------------------------------------------------------------
+
+
+class TestSynthesisService:
+    def test_warm_run_is_served_entirely_from_cache(self, tmp_path):
+        jobs = [SynthesisJob(name=f"chain-{n}", term=_chain(n)) for n in (3, 4)]
+        cold = SynthesisService(worker_count=0, cache=ResultCache(tmp_path)).run_batch(jobs)
+        assert cold.hit_rate == 0.0 and not cold.failed
+
+        events = []
+        warm_cache = ResultCache(tmp_path)
+        warm = SynthesisService(
+            worker_count=0, cache=warm_cache, on_event=events.append
+        ).run_batch([SynthesisJob(name=f"chain-{n}", term=_chain(n)) for n in (3, 4)])
+        assert warm.hit_rate == 1.0
+        assert warm_cache.hit_rate == 1.0
+        assert all(r.cached for r in warm.results)
+        assert all(e.kind == "cache-hit" for e in events)
+        for cold_result, warm_result in zip(cold.results, warm.results):
+            assert [c.term for c in warm_result.result.candidates] == [
+                c.term for c in cold_result.result.candidates
+            ]
+
+    def test_failed_jobs_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bad = SynthesisJob(
+            name="bad", term=_chain(3), config=SynthesisConfig(cost_function="no-such")
+        )
+        SynthesisService(worker_count=0, cache=cache).run_batch([bad])
+        assert cache.stores == 0
+        assert cache_key(bad.term, bad.config) not in cache
+
+    def test_config_changes_miss_the_cache(self, tmp_path):
+        term = _chain(3)
+        SynthesisService(worker_count=0, cache=ResultCache(tmp_path)).run_batch(
+            [SynthesisJob(name="a", term=term)]
+        )
+        rerun = SynthesisService(worker_count=0, cache=ResultCache(tmp_path)).run_batch(
+            [SynthesisJob(name="a", term=term, config=SynthesisConfig(epsilon=1e-2))]
+        )
+        assert rerun.hit_rate == 0.0
+
+    def test_timeout_clamped_runs_never_poison_untimed_lookups(self, tmp_path):
+        # A timeout below max_seconds clamps the saturation fuel, which can
+        # change the result — so it is part of the cache identity: a result
+        # computed under `timeout=30` must not be served to an untimed run.
+        term = _chain(3)
+        SynthesisService(worker_count=0, cache=ResultCache(tmp_path)).run_batch(
+            [SynthesisJob(name="a", term=term, timeout=30.0)]
+        )
+        untimed = SynthesisService(worker_count=0, cache=ResultCache(tmp_path)).run_batch(
+            [SynthesisJob(name="a", term=term)]
+        )
+        assert untimed.hit_rate == 0.0
+
+    def test_non_clamping_timeout_shares_the_cache_entry(self, tmp_path):
+        # A timeout at or above max_seconds changes nothing about the
+        # synthesis, so it hits the untimed run's entry.
+        term = _chain(3)
+        SynthesisService(worker_count=0, cache=ResultCache(tmp_path)).run_batch(
+            [SynthesisJob(name="a", term=term)]
+        )
+        generous = SynthesisService(worker_count=0, cache=ResultCache(tmp_path)).run_batch(
+            [SynthesisJob(name="a", term=term, timeout=10_000.0)]
+        )
+        assert generous.hit_rate == 1.0
+
+    def test_report_orders_results_by_submission(self, tmp_path):
+        jobs = [
+            SynthesisJob(name="z-last", term=_chain(2), priority=0),
+            SynthesisJob(name="a-first", term=_chain(4), priority=5),
+        ]
+        report = SynthesisService(worker_count=0).run_batch(jobs)
+        assert [r.name for r in report.results] == ["z-last", "a-first"]
+        payload = report.to_dict()
+        assert payload["jobs"] == 2 and payload["succeeded"] == 2
+
+    def test_run_files(self, tmp_path):
+        from repro.csg.pretty import format_term
+
+        paths = []
+        for n in (3, 4):
+            path = tmp_path / f"chain{n}.csg"
+            path.write_text(format_term(_chain(n)))
+            paths.append(path)
+        report = SynthesisService(worker_count=0).run_files(paths)
+        assert [r.name for r in report.results] == ["chain3", "chain4"]
+        assert all(r.ok for r in report.results)
