@@ -8,12 +8,14 @@ Usage examples::
     szalinski bench gear                       # run one benchmark by name
     szalinski batch a.csg b.csg --jobs 2       # batch-synthesize many flat CSG files
 
-The synthesis knobs (``--epsilon``, ``--top-k``, ``--cost``,
+The synthesis knobs (``--epsilon``, ``--top-k``/``--topk``, ``--cost``,
 ``--rewrite-iterations``, ``--max-enodes``, ``--max-seconds``,
-``--no-incremental``, ``--rules``) are global options threaded into
-:class:`~repro.core.config.SynthesisConfig` for ``synth`` and ``batch``.
-``table1`` and ``bench`` deliberately keep the paper's per-benchmark default
-configuration so their rows stay comparable to Table 1.
+``--no-incremental``, ``--no-incremental-extraction``, ``--rules``) are
+global options threaded into :class:`~repro.core.config.SynthesisConfig`
+for ``synth`` (alias ``run``) and ``batch``.  ``table1`` and ``bench``
+deliberately keep the paper's per-benchmark default configuration so their
+rows stay comparable to Table 1.  ``--cache-max-mb`` bounds the disk tier
+of the result cache (LRU eviction by entry mtime).
 """
 
 from __future__ import annotations
@@ -80,6 +82,7 @@ def _config_from_args(args: argparse.Namespace) -> SynthesisConfig:
         max_enodes=args.max_enodes,
         max_seconds=args.max_seconds,
         incremental_search=not args.no_incremental,
+        incremental_extraction=not args.no_incremental_extraction,
     )
     if args.rules is not None:
         kwargs["rule_categories"] = args.rules
@@ -88,6 +91,20 @@ def _config_from_args(args: argparse.Namespace) -> SynthesisConfig:
 
 def _print_event(event) -> None:
     print(str(event))
+
+
+def _build_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """A ResultCache from --cache/--cache-max-mb, or None without --cache."""
+    if not args.cache:
+        if args.cache_max_mb is not None:
+            raise SystemExit("--cache-max-mb requires --cache DIR")
+        return None
+    max_bytes = None
+    if args.cache_max_mb is not None:
+        if args.cache_max_mb <= 0:
+            raise SystemExit("--cache-max-mb must be positive")
+        max_bytes = int(args.cache_max_mb * 1024 * 1024)
+    return ResultCache(args.cache, max_bytes=max_bytes)
 
 
 def _write_report(path: Optional[str], payload: dict) -> None:
@@ -121,7 +138,7 @@ def _cmd_flatten(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.cache) if args.cache else None
+    cache = _build_cache(args)
     report = run_table1_batch(
         worker_count=args.jobs,
         cache=cache,
@@ -180,7 +197,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("batch: nothing to do (pass CSG files, --bench NAME, or --suite)")
         return 2
 
-    cache = ResultCache(args.cache) if args.cache else None
+    cache = _build_cache(args)
     service = SynthesisService(worker_count=args.jobs, cache=cache, on_event=_print_event)
     batch = service.run_batch(jobs)
 
@@ -223,7 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Szalinski reproduction: infer loops and functions in flat CSG models.",
     )
     parser.add_argument("--epsilon", type=float, default=1e-3, help="solver noise tolerance")
-    parser.add_argument("--top-k", type=int, default=5, help="number of programs to return")
+    parser.add_argument(
+        "--top-k", "--topk", dest="top_k", type=int, default=5,
+        help="number of programs to return",
+    )
     parser.add_argument(
         "--cost", choices=("ast-size", "reward-loops"), default="ast-size",
         help="extraction cost function",
@@ -245,6 +265,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the incremental trie e-matcher (use the naive sweep)",
     )
     parser.add_argument(
+        "--no-incremental-extraction", action="store_true",
+        help="disable the saturation-time cost analysis (recompute best "
+        "costs from scratch at extraction time)",
+    )
+    parser.add_argument(
         "--rules", type=_rule_categories, default=None, metavar="CAT[,CAT...]",
         help=(
             "rewrite-rule categories: a plain list REPLACES the default set, "
@@ -254,7 +279,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    synth = subparsers.add_parser("synth", help="synthesize programs for a flat CSG file")
+    synth = subparsers.add_parser(
+        "synth", aliases=["run"],
+        help="synthesize programs for a flat CSG file (alias: run)",
+    )
     synth.add_argument("input", help="path to an s-expression CSG file")
     synth.add_argument("--validate", action="store_true", help="validate the output by unrolling")
     synth.set_defaults(func=_cmd_synth)
@@ -271,6 +299,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (0 = run in-process)",
     )
     table1.add_argument("--cache", help="content-addressed result cache directory")
+    table1.add_argument(
+        "--cache-max-mb", type=float, default=None,
+        help="evict least-recently-used disk cache entries beyond this size",
+    )
     table1.add_argument("--report", help="write a JSON report of the run")
     table1.add_argument(
         "--progress", action="store_true", help="stream per-model progress events"
@@ -296,6 +328,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=0, help="worker processes (0 = run in-process)"
     )
     batch.add_argument("--cache", help="content-addressed result cache directory")
+    batch.add_argument(
+        "--cache-max-mb", type=float, default=None,
+        help="evict least-recently-used disk cache entries beyond this size",
+    )
     batch.add_argument("--timeout", type=float, default=None, help="per-job timeout in seconds")
     batch.add_argument("--report", help="write a JSON batch report")
     batch.set_defaults(func=_cmd_batch)

@@ -61,6 +61,16 @@ class SynthesisConfig:
     #: the knob exists for ablation/debugging, not correctness.
     incremental_search: bool = True
 
+    #: Maintain the extraction :class:`~repro.egraph.extract.CostAnalysis`
+    #: incrementally during saturation (registered on the e-graph by the
+    #: runner), so post-saturation single-best extraction — including every
+    #: determinizer query inside the arithmetic components — reads
+    #: ready-made best costs instead of recomputing a fixpoint.  Extracted
+    #: terms are identical either way (``tests/test_extract_kbest.py`` pins
+    #: the parity), so this is an ablation/debugging knob like
+    #: ``incremental_search``.
+    incremental_extraction: bool = True
+
     #: Rule categories to enable (see :func:`repro.core.rules.rules_by_category`).
     rule_categories: Tuple[str, ...] = (
         "affine-lifting",
@@ -116,12 +126,16 @@ class SynthesisConfig:
     def semantic_dict(self) -> Dict[str, object]:
         """The fields that can change *what* is synthesized (cache identity).
 
-        ``incremental_search`` is excluded: it only changes how e-matching is
-        scheduled, and the differential suite pins its results as identical
-        to the naive sweep's — so both settings may share cache entries.
+        ``incremental_search`` and ``incremental_extraction`` are excluded:
+        they only change how e-matching / best-cost bookkeeping is
+        scheduled, and the differential suites pin their results as
+        identical to the post-hoc computations — so all settings may share
+        cache entries.  Extraction knobs that *do* change the output
+        (``top_k``, ``cost_function``) stay in.
         """
         out = self.to_dict()
         out.pop("incremental_search")
+        out.pop("incremental_extraction")
         return out
 
     def fingerprint(self) -> str:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Sequence
 
+from repro.egraph.extract import ast_size_cost
+
 #: Loop combinators discounted by the reward-loops cost function.
 _LOOP_OPS = ("Mapi", "Map", "Fold")
 
@@ -21,9 +23,12 @@ _LOOP_OPS = ("Mapi", "Map", "Fold")
 _LOOP_BODY_DISCOUNT = 0.25
 
 
-def ast_size_cost_fn(op: object, child_costs: Sequence[float]) -> float:
-    """Default cost: one unit per AST node."""
-    return 1.0 + sum(child_costs)
+#: Default cost: one unit per AST node.  This *is* the engine-level
+#: :func:`repro.egraph.extract.ast_size_cost` (same function object), so an
+#: incremental :class:`~repro.egraph.extract.CostAnalysis` registered under
+#: either name is recognized by every extractor — the determinizer's
+#: ast-size extractions reuse the analysis the runner maintained.
+ast_size_cost_fn = ast_size_cost
 
 
 def reward_loops_cost_fn(op: object, child_costs: Sequence[float]) -> float:

@@ -27,7 +27,7 @@ from repro.core.loop_inference import LoopInference
 from repro.core.rules import default_rules
 from repro.csg.metrics import TermMetrics, measure
 from repro.egraph.egraph import EGraph
-from repro.egraph.extract import TopKExtractor
+from repro.egraph.extract import CostAnalysis, TopKExtractor, ast_size_cost
 from repro.egraph.pattern import CompiledRuleSet
 from repro.egraph.runner import BackoffConfig, Runner, RunnerLimits, RunReport
 from repro.lang.canon import canonical_term_text, term_from_canonical
@@ -68,6 +68,9 @@ class SynthesisResult:
     inference_records: List[InferenceRecord] = field(default_factory=list)
     run_reports: List[RunReport] = field(default_factory=list)
     seconds: float = 0.0
+    #: Wall-clock seconds of the final extraction phase alone (top-k over
+    #: the saturated e-graph); part of ``seconds``.
+    extract_seconds: float = 0.0
     config: Optional[SynthesisConfig] = None
 
     # -- accessors -----------------------------------------------------------------
@@ -144,6 +147,7 @@ class SynthesisResult:
             "inference_records": [record.to_dict() for record in self.inference_records],
             "run_reports": [report.to_dict() for report in self.run_reports],
             "seconds": self.seconds,
+            "extract_seconds": self.extract_seconds,
             "config": self.config.to_dict() if self.config is not None else None,
         }
 
@@ -161,6 +165,7 @@ class SynthesisResult:
             ],
             run_reports=[RunReport.from_dict(r) for r in data.get("run_reports", [])],
             seconds=data.get("seconds", 0.0),
+            extract_seconds=data.get("extract_seconds", 0.0),
             config=SynthesisConfig.from_dict(config) if config is not None else None,
         )
 
@@ -195,6 +200,12 @@ def synthesize(
     # Compile the rule patterns into the shared discrimination trie once;
     # every saturation run of the outer loop reuses it.
     compiled = CompiledRuleSet(rule_set) if config.incremental_search else None
+    # The incremental cost analysis rides along during saturation (the
+    # runner registers it): single-best extraction — extract_any and every
+    # determinizer query inside the arithmetic components — then reads
+    # ready-made (best cost, witness) pairs instead of recomputing a
+    # worklist fixpoint per extractor.
+    analyses = [CostAnalysis(ast_size_cost)] if config.incremental_extraction else []
 
     inference_records: List[InferenceRecord] = []
     run_reports: List[RunReport] = []
@@ -206,6 +217,7 @@ def synthesize(
             backoff=backoff,
             incremental=config.incremental_search,
             compiled=compiled,
+            analyses=analyses,
         )
         run_reports.append(runner.run(egraph))
 
@@ -225,6 +237,7 @@ def synthesize(
             break
 
     cost_function = get_cost_function(config.cost_function)
+    extract_start = time.perf_counter()
     extractor = TopKExtractor(egraph, cost_function, k=config.top_k, roots=[root])
 
     # Combine two views of the root e-class: one candidate per distinct root
@@ -247,6 +260,7 @@ def synthesize(
         CandidateProgram(rank=index + 1, cost=entry.cost, term=entry.term)
         for index, entry in enumerate(combined)
     ]
+    extract_seconds = time.perf_counter() - extract_start
 
     return SynthesisResult(
         input_term=csg,
@@ -254,5 +268,6 @@ def synthesize(
         inference_records=inference_records,
         run_reports=run_reports,
         seconds=time.perf_counter() - start,
+        extract_seconds=extract_seconds,
         config=config,
     )

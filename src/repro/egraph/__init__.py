@@ -15,12 +15,14 @@ It provides:
 * :mod:`repro.egraph.runner` — the batched two-phase saturation loop with a
   per-rule backoff scheduler and fuel / node / time limits enforced inside
   the apply phase;
-* :mod:`repro.egraph.extract` — worklist-based cost extraction and
-  DAG-memoized top-k extraction (Section 5.1).
+* :mod:`repro.egraph.extract` — the incremental :class:`CostAnalysis`
+  (an e-class analysis maintained during saturation), analysis-backed
+  single-best extraction, and lazy k-best (Eppstein-style) candidate heaps
+  enumerating only realizable, acyclic derivations (Section 5.1).
 """
 
 from repro.egraph.unionfind import UnionFind
-from repro.egraph.egraph import EGraph, ENode, EClass
+from repro.egraph.egraph import Analysis, EGraph, ENode, EClass
 from repro.egraph.pattern import (
     CompiledRuleSet,
     IncrementalMatcher,
@@ -40,10 +42,18 @@ from repro.egraph.runner import (
     RunReport,
     StopReason,
 )
-from repro.egraph.extract import Extractor, TopKExtractor, ast_size_cost
+from repro.egraph.extract import (
+    CostAnalysis,
+    ExtractionError,
+    Extractor,
+    RankedTerm,
+    TopKExtractor,
+    ast_size_cost,
+)
 
 __all__ = [
     "UnionFind",
+    "Analysis",
     "EGraph",
     "ENode",
     "EClass",
@@ -65,7 +75,10 @@ __all__ = [
     "RunnerLimits",
     "RunReport",
     "StopReason",
+    "CostAnalysis",
+    "ExtractionError",
     "Extractor",
+    "RankedTerm",
     "TopKExtractor",
     "ast_size_cost",
 ]

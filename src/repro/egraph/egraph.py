@@ -27,6 +27,29 @@ of "where new pattern matches can appear rooted".  An incremental matcher
 in an untouched class can only change through a touched *descendant*, which
 the matcher covers by closing the dirty set upward over parent pointers to
 its patterns' maximum depth.
+
+**E-class analyses.**  An :class:`Analysis` attaches a small piece of data
+to every e-class — a best extraction cost, a constant value, an interval —
+and the e-graph keeps it consistent through every structural change, the
+same mechanism egg uses for constant folding and cost tracking:
+
+* :meth:`Analysis.make` computes the data an e-node contributes, reading
+  its children's data through the e-graph;
+* :meth:`Analysis.merge` combines the data of two classes that became
+  equal (it must be a semilattice join: commutative, associative,
+  idempotent — for a cost analysis, ``min``);
+* :meth:`Analysis.modify` may inspect/extend the class after its data
+  changed (egg uses this for constant folding; the default is a no-op).
+
+:meth:`EGraph.add_enode` makes data for every fresh class immediately, so
+analysis data is *total*: every live class has a value for every registered
+analysis.  :meth:`EGraph.merge` joins the two sides' data; when the join
+differs from the surviving class's previous value, every parent e-node is
+queued for re-``make`` and the improvements propagate upward during
+:meth:`rebuild` — interleaved with congruence repair, because congruence
+merges themselves join data.  Analyses registered late
+(:meth:`register_analysis`) are initialized retroactively with the same
+worklist.
 """
 
 from __future__ import annotations
@@ -59,6 +82,45 @@ class ENode:
     @property
     def is_leaf(self) -> bool:
         return not self.args
+
+
+class Analysis:
+    """An e-class analysis: per-class data maintained under congruence.
+
+    Subclasses choose a unique :attr:`key` (the slot in :attr:`EClass.data`
+    the values live under) and implement :meth:`make` and :meth:`merge`;
+    :meth:`modify` is optional.  Values must support ``==`` (change
+    detection) and should be immutable — the e-graph stores them by
+    reference and compares them to decide what to re-propagate.
+    """
+
+    #: Slot name in :attr:`EClass.data`; must be unique per e-graph.
+    key: str = "analysis"
+
+    def make(self, egraph: "EGraph", enode: "ENode"):
+        """The data ``enode`` contributes to its class.
+
+        ``enode`` has canonical argument ids; read child data via
+        :meth:`EGraph.analysis_data`.  Return ``None`` when nothing can be
+        concluded yet (e.g. a child has no data) — the e-node is re-made
+        automatically once a child's data changes.
+        """
+        raise NotImplementedError
+
+    def merge(self, a, b):
+        """Join the data of two classes that became equal.
+
+        Must be a semilattice join — in particular ``merge(a, a) == a`` —
+        or propagation may not terminate.
+        """
+        raise NotImplementedError
+
+    def modify(self, egraph: "EGraph", class_id: int) -> None:
+        """Hook run after ``class_id``'s data was created or changed.
+
+        May add e-nodes or merge classes (egg-style constant folding); the
+        default does nothing.
+        """
 
 
 @dataclass
@@ -96,6 +158,14 @@ class EGraph:
         #: e-class ids (possibly stale) touched since the last `take_dirty`;
         #: see the module docstring for the search-epoch protocol.
         self._dirty: Set[int] = set()
+        #: Registered e-class analyses (see the module docstring).
+        self._analyses: List[Analysis] = []
+        #: (parent e-node, owner id) pairs whose analysis data must be
+        #: re-made because a child's data changed; drained by rebuild().
+        self._analysis_pending: List[Tuple[ENode, int]] = []
+        #: Total analysis-data changes (creations + improvements) — runners
+        #: snapshot this to report per-iteration analysis activity.
+        self.analysis_updates = 0
         self.version = 0  # bumped on every structural change; used by runners
 
     # -- basic queries -----------------------------------------------------------
@@ -160,6 +230,79 @@ class EGraph:
             self._op_index[op] = live
         return list(live)
 
+    # -- e-class analyses ---------------------------------------------------------
+
+    @property
+    def analyses(self) -> Tuple[Analysis, ...]:
+        """The registered analyses, in registration order."""
+        return tuple(self._analyses)
+
+    def analysis_data(self, class_id: int, key: str, default=None):
+        """The analysis value stored under ``key`` for ``class_id``'s class."""
+        return self.eclass(class_id).data.get(key, default)
+
+    def register_analysis(self, analysis: Analysis) -> Analysis:
+        """Attach an analysis; existing classes are initialized retroactively.
+
+        Idempotent for the *same* object (re-registering is a no-op, so a
+        runner can re-run over a graph whose analysis already rides along);
+        a different analysis under an already-taken key is rejected.
+        """
+        for existing in self._analyses:
+            if existing is analysis:
+                return analysis
+            if existing.key == analysis.key:
+                raise ValueError(f"analysis key {analysis.key!r} already registered")
+        self._analyses.append(analysis)
+        # Retroactive init: seed every (enode, class) pair and run the same
+        # worklist rebuild() uses.  Leaves make() successfully right away;
+        # parents that see a child without data return None and are re-made
+        # when the child's data lands (_set_analysis_data enqueues parents
+        # on every change, including the first).
+        if self._classes:
+            for eclass in self._classes.values():
+                for enode in eclass.nodes:
+                    self._analysis_pending.append((enode, eclass.id))
+            self._process_analysis_pending()
+        return analysis
+
+    def _set_analysis_data(self, analysis: Analysis, class_id: int, value) -> bool:
+        """Join ``value`` into a class's slot; propagate if it changed."""
+        # A modify() hook of an earlier analysis may have merged the class
+        # away within the same update loop; address the survivor.
+        class_id = self.find(class_id)
+        eclass = self._classes[class_id]
+        old = eclass.data.get(analysis.key)
+        new = value if old is None else analysis.merge(old, value)
+        if new == old:
+            return False
+        eclass.data[analysis.key] = new
+        self.analysis_updates += 1
+        self._analysis_pending.extend(eclass.parents)
+        analysis.modify(self, class_id)
+        return True
+
+    def _process_analysis_pending(self) -> None:
+        """Re-make queued parent e-nodes until analysis data is stable."""
+        find = self._union_find.find
+        while self._analysis_pending:
+            batch = self._analysis_pending
+            self._analysis_pending = []
+            seen: Set[Tuple[ENode, int]] = set()
+            for node, owner in batch:
+                owner = find(owner)
+                if owner not in self._classes:
+                    continue
+                node = node.canonicalize(find)
+                entry = (node, owner)
+                if entry in seen:
+                    continue
+                seen.add(entry)
+                for analysis in self._analyses:
+                    made = analysis.make(self, node)
+                    if made is not None:
+                        self._set_analysis_data(analysis, owner, made)
+
     # -- insertion ----------------------------------------------------------------
 
     def add_enode(self, enode: ENode) -> int:
@@ -176,6 +319,10 @@ class EGraph:
         self._dirty.add(class_id)
         for arg in enode.args:
             self._classes[self.find(arg)].parents.append((enode, class_id))
+        for analysis in self._analyses:
+            made = analysis.make(self, enode)
+            if made is not None:
+                self._set_analysis_data(analysis, class_id, made)
         self.version += 1
         return class_id
 
@@ -208,11 +355,15 @@ class EGraph:
         Returns the surviving canonical id.  The actual invariant repair is
         deferred until :meth:`rebuild`.
 
-        Analysis data is merged shallowly with a deterministic policy: on a
-        key conflict the data of ``b`` (the second argument) wins, regardless
-        of which class ends up canonical.  Rewrites call ``merge(matched,
-        new)``, so the value attached to the freshly constructed class — the
-        "later writer" — is the one that survives.
+        Plain (non-analysis) data keys are merged shallowly with a
+        deterministic policy: on a key conflict the data of ``b`` (the second
+        argument) wins, regardless of which class ends up canonical.
+        Rewrites call ``merge(matched, new)``, so the value attached to the
+        freshly constructed class — the "later writer" — is the one that
+        survives.  Slots owned by a registered :class:`Analysis` are instead
+        joined with :meth:`Analysis.merge`, and a change to the surviving
+        class's value queues its parents for re-``make`` (see the module
+        docstring).
         """
         a_root = self.find(a)
         b_root = self.find(b)
@@ -226,9 +377,22 @@ class EGraph:
         merged_away = b_root if keep == a_root else a_root
         keep_class = self._classes[keep]
         gone_class = self._classes.pop(merged_away)
+        keep_data_pre = keep_class.data
+        # Analysis slots are joined below, starting from the keep side's
+        # previous value — the b-wins shallow policy must not clobber them.
+        for analysis in self._analyses:
+            pre = keep_data_pre.get(analysis.key)
+            if pre is None:
+                merged_data.pop(analysis.key, None)
+            else:
+                merged_data[analysis.key] = pre
         keep_class.nodes.extend(gone_class.nodes)
         keep_class.parents.extend(gone_class.parents)
         keep_class.data = merged_data
+        for analysis in self._analyses:
+            gone_value = gone_class.data.get(analysis.key)
+            if gone_value is not None:
+                self._set_analysis_data(analysis, keep, gone_value)
         self._pending.append(keep)
         # Record the survivor (its match set grew) AND the absorbed root:
         # the raw id stream lets an incremental match cache evict exactly
@@ -241,16 +405,24 @@ class EGraph:
     def rebuild(self) -> int:
         """Restore the hashcons and congruence invariants.
 
+        Also drains the analysis worklist: queued parent re-``make``\\ s run
+        interleaved with congruence repair, because congruence merges join
+        analysis data (possibly queuing more re-makes) and analysis
+        improvements never create new merges by themselves — except through
+        :meth:`Analysis.modify`, which is handled by the outer loop.
+
         Returns the number of repair passes performed.  Safe to call when
         nothing is pending.
         """
         passes = 0
-        while self._pending:
-            passes += 1
-            todo = {self.find(id_) for id_ in self._pending}
-            self._pending.clear()
-            for class_id in todo:
-                self._repair(class_id)
+        while self._pending or self._analysis_pending:
+            if self._pending:
+                passes += 1
+                todo = {self.find(id_) for id_ in self._pending}
+                self._pending.clear()
+                for class_id in todo:
+                    self._repair(class_id)
+            self._process_analysis_pending()
         self._rebuild_hashcons()
         return passes
 
@@ -379,7 +551,10 @@ class EGraph:
           canonicalized e-nodes stored in the classes, and every value is
           the canonical id of the class holding that node;
         * **congruence closed** — no two distinct classes contain the same
-          canonical e-node.
+          canonical e-node;
+        * **analyses quiescent** — every class's stored analysis value
+          absorbs every e-node's ``make`` (joining any of them changes
+          nothing), i.e. no propagation work remains.
         """
         find = self._union_find.find
         self._union_find.compress_all()
@@ -431,6 +606,23 @@ class EGraph:
                 assert find(owner) == node_owner[node], (
                     f"hashcons maps {node} to {owner}, nodes live in {node_owner[node]}"
                 )
+        if not self._pending and not self._analysis_pending:
+            for analysis in self._analyses:
+                for class_id, eclass in self._classes.items():
+                    stored = eclass.data.get(analysis.key)
+                    for node in eclass.nodes:
+                        made = analysis.make(self, node.canonicalize(find))
+                        if made is None:
+                            continue
+                        assert stored is not None, (
+                            f"analysis {analysis.key!r}: class {class_id} has no "
+                            f"data but {node} makes {made!r}"
+                        )
+                        assert analysis.merge(stored, made) == stored, (
+                            f"analysis {analysis.key!r} not quiescent in class "
+                            f"{class_id}: stored {stored!r} does not absorb "
+                            f"{made!r} from {node}"
+                        )
         return True
 
     # -- parent queries ----------------------------------------------------------

@@ -2,34 +2,56 @@
 
 After saturation, every e-class represents many equivalent programs; a cost
 function picks which ones to return.  The paper's default cost is the number
-of AST nodes; the alternative ``reward-loops`` cost discounts ``Mapi`` nodes
-(Section 6.1, "Cost function robustness").  Because there is no single right
-parameterization, Szalinski returns the top-k programs (Section 5.1) so the
-user can choose.
+of AST nodes; the alternative ``reward-loops`` cost discounts loop
+combinators (Section 6.1, "Cost function robustness").  Because there is no
+single right parameterization, Szalinski returns the top-k programs
+(Section 5.1) so the user can choose.
 
-Both extractors are *worklist* algorithms driven by the e-graph's parent
-pointers rather than whole-graph fixpoints:
+The stack has two layers:
 
-* :class:`Extractor` (single best) seeds every leaf e-node and propagates
-  cost improvements upward through :meth:`EGraph.parent_enodes`; each
-  e-class is re-examined only when one of its children actually improved,
-  so the work is proportional to the number of cost changes instead of
-  ``O(passes x classes x nodes)``.
-* :class:`TopKExtractor` keeps, per e-class, a bounded *candidate table* of
-  ``(cost, e-node, child ranks)`` triples — a DAG representation that never
-  materializes :class:`~repro.lang.term.Term` objects inside the fixpoint.
-  Candidates for an e-node are formed by combining the children's tables
-  cube-pruning style (bounded index sums), and concrete terms are built
-  lazily, memoized per ``(class, rank)``, only when a query asks for them.
+* :class:`CostAnalysis` — an e-class :class:`~repro.egraph.egraph.Analysis`
+  holding ``(best cost, witness e-node)`` per class, maintained
+  *incrementally* through ``add_enode``/``merge``/``rebuild``.  When the
+  runner registers it, post-saturation single-best extraction degenerates to
+  an O(answer) walk over the witnesses (:class:`Extractor` reuses the data
+  instead of recomputing a fixpoint).
+* :class:`TopKExtractor` — **lazy k-best candidate heaps** per e-class
+  (Eppstein-style, as in Huang & Chiang's lazy k-best parsing), generalized
+  to cyclic e-graphs: only *realizable* derivations are enumerated, in cost
+  order.  "Realizable" here means **acyclic**: a derivation may not revisit
+  an e-class on any root-to-leaf path — the standard e-graph extraction
+  semantics, under which the derivation space is finite and best costs are
+  well-defined.  (A discount cost over an equivalence cycle can denote
+  finite unfoldings of unboundedly decreasing cost with an unattained
+  infimum — ``Mapi(Mapi(...))`` towers under ``reward-loops`` — so
+  *cheapest represented term* is not even well-defined there; cheapest
+  acyclic derivation is, and is what every query below returns.)  The
+  path restriction is enforced *by construction*: revisits can only
+  happen inside a strongly connected component of the class graph, so each
+  candidate stream carries the set of same-SCC ancestor classes it must
+  avoid and descends into children with that set extended.  Outside
+  non-trivial SCCs the set is always empty and streams are shared
+  context-free.  This makes non-monotone costs (``reward-loops``) and
+  indirect equivalence cycles *correct* instead of detected-and-rejected —
+  an unrealizable cyclic "best" simply never appears in any stream, so no
+  well-foundedness guards or cycle errors are needed.
+
+Cost functions must be monotone in their child costs (nondecreasing in each
+argument — both bundled functions are strictly increasing), which is what
+keeps each stream's emissions sorted.  They need *not* satisfy
+``f(...) >= max(child costs)``: a discounted parent cheaper than its child
+is exactly the ``reward-loops`` case the lazy heaps exist for.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.egraph import Analysis, EGraph, ENode
 from repro.lang.term import Term
 
 #: A cost function maps (operator, children costs) to a cost.
@@ -42,31 +64,112 @@ def ast_size_cost(op: object, child_costs: Sequence[float]) -> float:
 
 
 class ExtractionError(RuntimeError):
-    """Raised when no finite-cost term exists for the requested e-class."""
+    """Raised when no realizable term exists for the requested e-class."""
+
+
+@dataclass(frozen=True, slots=True)
+class RankedTerm:
+    """A term together with its cost (and its rank after sorting)."""
+
+    cost: float
+    term: Term
+
+
+# ---------------------------------------------------------------------------
+# The cost analysis (incremental best cost + witness per e-class)
+# ---------------------------------------------------------------------------
+
+
+class CostAnalysis(Analysis):
+    """Per-class ``(best cost, witness e-node)`` under a cost function.
+
+    ``make`` prices an e-node from its children's best costs; ``merge`` keeps
+    the cheaper side (ties keep the first argument, which is deterministic
+    for a given run).  Registered on an e-graph — typically by the runner,
+    so it rides along during saturation — it turns post-hoc extraction
+    fixpoints into constant-time reads; :class:`Extractor` picks it up
+    automatically when its cost function matches.
+
+    The analysis is a pure least-fixpoint: on an equivalence cycle that
+    undercuts every realizable term (possible only when a node can be
+    cheaper than its child, e.g. ``reward-loops``), the stored cost is a
+    *lower bound* whose witness walk revisits a class.  Consumers detect
+    that and fall back to the k-best enumeration, which is
+    correct-by-construction (see the module docstring).
+    """
+
+    def __init__(self, cost_function: CostFunction = ast_size_cost, key: Optional[str] = None):
+        self.cost_function = cost_function
+        if key is None:
+            name = getattr(cost_function, "__name__", hex(id(cost_function)))
+            key = f"cost:{name}"
+        self.key = key
+
+    def make(self, egraph: EGraph, enode: ENode) -> Optional[Tuple[float, ENode]]:
+        child_costs: List[float] = []
+        for arg in enode.args:
+            data = egraph.analysis_data(arg, self.key)
+            if data is None:
+                return None
+            child_costs.append(data[0])
+        return (self.cost_function(enode.op, child_costs), enode)
+
+    def merge(self, a: Tuple[float, ENode], b: Tuple[float, ENode]) -> Tuple[float, ENode]:
+        return a if a[0] <= b[0] else b
+
+
+# ---------------------------------------------------------------------------
+# Single-best extraction (analysis view, with a k-best fallback for cycles)
+# ---------------------------------------------------------------------------
+
+
+class _CyclicWitness(Exception):
+    """Internal: the analysis witness walk revisited a class."""
 
 
 class Extractor:
-    """Single-best extraction via a parent-driven worklist.
+    """Single-best extraction over :class:`CostAnalysis` data.
 
-    Leaves are seeded with their intrinsic cost; whenever an e-class's best
-    cost improves, every parent e-node (via :meth:`EGraph.parent_enodes`) is
-    re-costed and its owning class updated.  Costs are bounded below and
-    strictly decrease on every update; directly self-referential e-nodes
-    that would undercut their own class's best (possible only for
-    non-monotone costs like ``reward-loops``) are rejected so the common
-    self-loop case stays well-founded.  Indirect cycles that undercut every
-    realizable term — constructible with a non-monotone cost and mutually
-    recursive classes — cannot be excluded locally; :meth:`extract` detects
-    them and raises :class:`ExtractionError` instead of recursing forever
-    (see ROADMAP for the lazy-k-best alternative that would rank only
-    realizable derivations).
+    When the e-graph already carries a registered, quiescent
+    :class:`CostAnalysis` for the *same* cost function, its data is reused
+    directly — extraction is then an O(answer) witness walk with no
+    per-query fixpoint at all.  Otherwise the same best-cost table is
+    computed once here with a parent-driven worklist (seeded at leaves,
+    propagating improvements through :meth:`EGraph.parent_enodes`).
+
+    Best costs are least-fixpoint values; if the best witness derivation
+    revisits a class (non-monotone cost + equivalence cycle), the query
+    falls back to the lazy k-best enumeration and returns the cheapest
+    *realizable* term instead — no error path remains for cycles.
     """
 
     def __init__(self, egraph: EGraph, cost_function: CostFunction = ast_size_cost):
         self.egraph = egraph
         self.cost_function = cost_function
-        self._best: Dict[int, Tuple[float, ENode]] = {}
-        self._compute()
+        self._analysis = self._registered_analysis()
+        self._best: Optional[Dict[int, Tuple[float, ENode]]] = None
+        if self._analysis is None:
+            self._best = {}
+            self._compute()
+        self._term_memo: Dict[int, Term] = {}
+        self._resolved: Dict[int, RankedTerm] = {}
+        self._kbest: Optional[_KBestEngine] = None
+
+    # -- cost table -------------------------------------------------------------
+
+    def _registered_analysis(self) -> Optional[CostAnalysis]:
+        """A reusable registered analysis, or None (compute from scratch).
+
+        Reuse requires the same cost function *and* a quiescent graph —
+        with merges or analysis propagation still pending the stored data
+        may be stale, so a mid-rebuild caller gets the scratch path.
+        """
+        if self.egraph._pending or self.egraph._analysis_pending:
+            return None
+        for analysis in self.egraph.analyses:
+            if isinstance(analysis, CostAnalysis) and analysis.cost_function is self.cost_function:
+                return analysis
+        return None
 
     def _compute(self) -> None:
         find = self.egraph.find
@@ -88,83 +191,300 @@ class Extractor:
                 if not enode.args:
                     update(class_id, self.cost_function(enode.op, ()), enode)
 
-        # Propagate improvements to parents until no class changes.
+        # Propagate improvements to parents until no class changes.  On a
+        # discount cycle the improvements form a geometric series that
+        # reaches its float fixpoint after finitely many strict updates, so
+        # the loop terminates without any well-foundedness guard.
         while worklist:
             class_id = worklist.popleft()
             queued.discard(class_id)
             for parent_node, parent_id in self.egraph.parent_enodes(class_id):
-                cost = self._enode_cost(parent_node, owner=parent_id)
+                cost = self._enode_cost(parent_node)
                 if cost is not None:
                     update(parent_id, cost, parent_node)
 
-    def _enode_cost(self, enode: ENode, owner: Optional[int] = None) -> Optional[float]:
-        child_classes = [self.egraph.find(arg) for arg in enode.args]
+    def _enode_cost(self, enode: ENode) -> Optional[float]:
         child_costs = []
-        for child in child_classes:
-            entry = self._best.get(child)
+        for arg in enode.args:
+            entry = self._best.get(self.egraph.find(arg))
             if entry is None:
                 return None
             child_costs.append(entry[0])
-        cost = self.cost_function(enode.op, child_costs)
-        # Well-foundedness guard (see class docstring): a self-referential
-        # e-node may only win if it costs strictly more than the entry it
-        # feeds on — otherwise extract() would recurse into itself.
-        if owner is not None and any(
-            child == owner and cost <= child_cost
-            for child, child_cost in zip(child_classes, child_costs)
-        ):
-            return None
-        return cost
+        return self.cost_function(enode.op, child_costs)
+
+    def _best_entry(self, class_id: int) -> Optional[Tuple[float, ENode]]:
+        """The (least-fixpoint cost, witness) pair for a canonical id."""
+        if self._analysis is not None:
+            return self.egraph.analysis_data(class_id, self._analysis.key)
+        return self._best.get(class_id)
+
+    # -- queries ----------------------------------------------------------------
 
     def cost_of(self, class_id: int) -> float:
-        """The cost of the best term for ``class_id``."""
-        entry = self._best.get(self.egraph.find(class_id))
-        if entry is None:
-            raise ExtractionError(f"no extractable term for e-class {class_id}")
-        return entry[0]
+        """The cost of ``class_id``'s cheapest acyclic derivation.
+
+        Not a lower bound over every *represented* term: a discount cost
+        over an equivalence cycle denotes cyclic-derivation unfoldings that
+        can undercut this value (see the module docstring).
+        """
+        return self._resolve(class_id).cost
 
     def extract(self, class_id: int) -> Term:
-        """The cheapest term represented by ``class_id``."""
-        return self._extract(class_id, set())
+        """The term of ``class_id``'s cheapest acyclic derivation."""
+        return self._resolve(class_id).term
 
-    def _extract(self, class_id: int, path: Set[int]) -> Term:
+    def _resolve(self, class_id: int) -> RankedTerm:
         class_id = self.egraph.find(class_id)
-        entry = self._best.get(class_id)
+        resolved = self._resolved.get(class_id)
+        if resolved is not None:
+            return resolved
+        entry = self._best_entry(class_id)
         if entry is None:
             raise ExtractionError(f"no extractable term for e-class {class_id}")
+        try:
+            resolved = RankedTerm(entry[0], self._walk(class_id, set()))
+        except _CyclicWitness:
+            # The fixpoint best is an unrealizable cycle: enumerate
+            # realizable derivations instead (rare; only non-monotone costs
+            # over equivalence cycles reach this).
+            if self._kbest is None:
+                self._kbest = _KBestEngine(self.egraph, self.cost_function)
+            best = self._kbest.stream(class_id).get(0)
+            if best is None:
+                raise ExtractionError(
+                    f"no extractable term for e-class {class_id}"
+                ) from None
+            resolved = best
+        self._resolved[class_id] = resolved
+        return resolved
+
+    def _walk(self, class_id: int, path: Set[int]) -> Term:
+        """Materialize the witness derivation, failing on a class revisit."""
+        class_id = self.egraph.find(class_id)
+        memoized = self._term_memo.get(class_id)
+        if memoized is not None:
+            return memoized
         if class_id in path:
-            raise ExtractionError(
-                f"cyclic best derivation for e-class {class_id}: the cost "
-                "function is non-monotone and an equivalence cycle undercuts "
-                "every realizable term"
-            )
+            raise _CyclicWitness
+        entry = self._best_entry(class_id)
+        if entry is None:
+            raise ExtractionError(f"no extractable term for e-class {class_id}")
         path.add(class_id)
         try:
             _, enode = entry
-            return Term(enode.op, tuple(self._extract(arg, path) for arg in enode.args))
+            term = Term(enode.op, tuple(self._walk(arg, path) for arg in enode.args))
         finally:
             path.discard(class_id)
+        self._term_memo[class_id] = term
+        return term
 
 
-@dataclass(frozen=True, slots=True)
-class RankedTerm:
-    """A term together with its cost (and its rank after sorting)."""
-
-    cost: float
-    term: Term
+# ---------------------------------------------------------------------------
+# Lazy k-best candidate heaps (Eppstein-style, cycle-safe)
+# ---------------------------------------------------------------------------
 
 
-#: One top-k table entry: (cost, root e-node, chosen rank per child).
-_Candidate = Tuple[float, ENode, Tuple[int, ...]]
+class _Stream:
+    """Derivations of one e-class in nondecreasing cost order, lazily.
+
+    ``banned`` is the set of same-SCC ancestor classes this stream's
+    derivations must avoid (always empty outside non-trivial SCCs).  The
+    frontier heap holds candidates ``(cost, seq, enode index, child
+    ranks)``; popping a candidate emits its term and pushes its rank
+    successors — the classic lazy k-best step, except that candidates whose
+    e-node descends into a banned class never enter the heap, so every
+    emission is realizable and acyclic by construction.
+    """
+
+    __slots__ = ("engine", "class_id", "banned", "entries", "_nodes", "_heap",
+                 "_pushed", "_seen_terms", "_initialized")
+
+    def __init__(self, engine: "_KBestEngine", class_id: int, banned: frozenset):
+        self.engine = engine
+        self.class_id = class_id
+        self.banned = banned
+        #: Emitted derivations: distinct terms, nondecreasing cost.
+        self.entries: List[RankedTerm] = []
+        self._nodes: List[Tuple[ENode, List["_Stream"]]] = []
+        self._heap: List[Tuple[float, int, int, Tuple[int, ...]]] = []
+        self._pushed: Set[Tuple[int, Tuple[int, ...]]] = set()
+        self._seen_terms: Set[Term] = set()
+        self._initialized = False
+
+    def _init(self) -> None:
+        self._initialized = True
+        egraph = self.engine.egraph
+        find = egraph.find
+        blocked = self.banned | {self.class_id}
+        seen_nodes: Set[ENode] = set()
+        for enode in egraph.nodes(self.class_id):
+            enode = enode.canonicalize(find)
+            if enode in seen_nodes:
+                continue
+            seen_nodes.add(enode)
+            if any(find(arg) in blocked for arg in enode.args):
+                continue
+            children = [self.engine.stream(arg, blocked) for arg in enode.args]
+            self._nodes.append((enode, children))
+        for index in range(len(self._nodes)):
+            self._push(index, (0,) * len(self._nodes[index][1]))
+
+    def _push(self, index: int, ranks: Tuple[int, ...]) -> None:
+        key = (index, ranks)
+        if key in self._pushed:
+            return
+        self._pushed.add(key)
+        enode, children = self._nodes[index]
+        child_costs = []
+        for child, rank in zip(children, ranks):
+            entry = child.get(rank)
+            if entry is None:
+                return  # child stream exhausted below this rank
+            child_costs.append(entry.cost)
+        cost = self.engine.cost_function(enode.op, child_costs)
+        heapq.heappush(self._heap, (cost, next(self.engine.seq), index, ranks))
+
+    def get(self, rank: int) -> Optional[RankedTerm]:
+        """The ``rank``-th cheapest distinct term, or None past the end."""
+        if not self._initialized:
+            self._init()
+        while len(self.entries) <= rank and self._heap:
+            cost, _, index, ranks = heapq.heappop(self._heap)
+            enode, children = self._nodes[index]
+            term = Term(
+                enode.op,
+                tuple(child.entries[r].term for child, r in zip(children, ranks)),
+            )
+            # Successors always expand the frontier, even when the popped
+            # term turns out to be a duplicate.
+            for position in range(len(ranks)):
+                bumped = list(ranks)
+                bumped[position] += 1
+                self._push(index, tuple(bumped))
+            if term not in self._seen_terms:
+                self._seen_terms.add(term)
+                self.entries.append(RankedTerm(cost, term))
+        return self.entries[rank] if rank < len(self.entries) else None
+
+
+class _KBestEngine:
+    """Shared stream registry + SCC index for one (e-graph, cost fn) pair.
+
+    Streams are memoized on ``(class id, banned set)`` after intersecting
+    the inherited banned set with the class's *cycle set* — the members of
+    its strongly connected component when that SCC is non-trivial, else the
+    empty set.  A banned ancestor outside the class's SCC can never be
+    reached again (the SCC condensation is acyclic), so dropping it is
+    sound and collapses almost every request onto the context-free stream.
+    """
+
+    def __init__(self, egraph: EGraph, cost_function: CostFunction):
+        self.egraph = egraph
+        self.cost_function = cost_function
+        self.seq = itertools.count()  # heap tiebreaker: deterministic FIFO
+        self._streams: Dict[Tuple[int, frozenset], _Stream] = {}
+        self._children: Dict[int, List[int]] = {}
+        self._cycle_sets: Dict[int, frozenset] = {}
+        self._scc_index: Dict[int, int] = {}
+        self._scc_low: Dict[int, int] = {}
+        self._scc_counter = 0
+
+    def stream(self, class_id: int, banned: frozenset = frozenset()) -> _Stream:
+        class_id = self.egraph.find(class_id)
+        banned = banned & self._cycle_set(class_id)
+        key = (class_id, banned)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = self._streams[key] = _Stream(self, class_id, banned)
+        return stream
+
+    # -- SCC index --------------------------------------------------------------
+
+    def _child_classes(self, class_id: int) -> List[int]:
+        children = self._children.get(class_id)
+        if children is None:
+            find = self.egraph.find
+            children = self._children[class_id] = list(
+                {find(arg) for enode in self.egraph.nodes(class_id) for arg in enode.args}
+            )
+        return children
+
+    def _cycle_set(self, class_id: int) -> frozenset:
+        cached = self._cycle_sets.get(class_id)
+        if cached is not None:
+            return cached
+        self._run_tarjan(class_id)
+        return self._cycle_sets[class_id]
+
+    def _run_tarjan(self, start: int) -> None:
+        """Iterative Tarjan from ``start``; finished classes are skipped.
+
+        Incremental restarts are sound: any cycle through an already
+        finished class is fully contained in the subgraph that earlier run
+        explored, so treating finished classes as closed cannot miss SCC
+        members.
+        """
+        index = self._scc_index
+        low = self._scc_low
+        tarjan_stack: List[int] = []
+        on_stack: Set[int] = set()
+
+        index[start] = low[start] = self._scc_counter
+        self._scc_counter += 1
+        tarjan_stack.append(start)
+        on_stack.add(start)
+        frames: List[List] = [[start, self._child_classes(start), 0]]
+        while frames:
+            frame = frames[-1]
+            node, children, position = frame
+            advanced = False
+            while position < len(children):
+                child = children[position]
+                position += 1
+                frame[2] = position
+                if child in self._cycle_sets and child not in on_stack:
+                    continue  # finished by an earlier run
+                if child not in index:
+                    index[child] = low[child] = self._scc_counter
+                    self._scc_counter += 1
+                    tarjan_stack.append(child)
+                    on_stack.add(child)
+                    frames.append([child, self._child_classes(child), 0])
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            frames.pop()
+            if frames:
+                parent = frames[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                members: Set[int] = set()
+                while True:
+                    member = tarjan_stack.pop()
+                    on_stack.discard(member)
+                    members.add(member)
+                    if member == node:
+                        break
+                nontrivial = len(members) > 1 or node in self._child_classes(node)
+                cycle = frozenset(members) if nontrivial else frozenset()
+                for member in members:
+                    self._cycle_sets[member] = cycle
 
 
 class TopKExtractor:
-    """Extraction of the k cheapest distinct terms per e-class.
+    """Extraction of the k cheapest distinct realizable terms per e-class.
 
-    The fixpoint operates entirely on the DAG-level candidate table; see the
-    module docstring.  ``max_rounds`` bounds how many times any single
-    e-class may be recomputed (a safety valve for non-monotone cost
-    functions, mirroring the round limit of the old whole-graph fixpoint).
+    A thin facade over the lazy stream machinery (see the module
+    docstring): nothing is computed until a query forces it, and a query
+    for class ``c`` touches only classes reachable from ``c`` — the old
+    whole-graph candidate-table fixpoint (and its ``max_rounds`` safety
+    valve and cube-pruning rank-monotonicity assumption) is gone.
+
+    ``roots`` is accepted for API compatibility; enumeration is lazy per
+    queried class, so no reachability restriction is needed any more.
     """
 
     def __init__(
@@ -172,7 +492,6 @@ class TopKExtractor:
         egraph: EGraph,
         cost_function: CostFunction = ast_size_cost,
         k: int = 5,
-        max_rounds: int = 1000,
         roots: Optional[Sequence[int]] = None,
     ):
         if k < 1:
@@ -180,188 +499,30 @@ class TopKExtractor:
         self.egraph = egraph
         self.cost_function = cost_function
         self.k = k
-        self.max_rounds = max_rounds
-        self._entries: Dict[int, List[_Candidate]] = {}
-        self._term_memo: Dict[Tuple[int, int], Optional[RankedTerm]] = {}
-        self._restrict = self._reachable(roots) if roots is not None else None
-        self._compute()
-
-    def _reachable(self, roots: Sequence[int]) -> set:
-        """E-classes reachable from the roots (the only ones worth ranking)."""
-        seen = set()
-        stack = [self.egraph.find(r) for r in roots]
-        while stack:
-            class_id = stack.pop()
-            if class_id in seen:
-                continue
-            seen.add(class_id)
-            for enode in self.egraph.nodes(class_id):
-                for arg in enode.args:
-                    arg = self.egraph.find(arg)
-                    if arg not in seen:
-                        stack.append(arg)
-        return seen
-
-    # -- fixpoint ---------------------------------------------------------------
-
-    def _compute(self) -> None:
-        find = self.egraph.find
-        if self._restrict is not None:
-            class_ids = list(self._restrict)
-        else:
-            class_ids = [find(eclass.id) for eclass in self.egraph.classes()]
-
-        worklist: deque = deque(class_ids)
-        queued: Set[int] = set(class_ids)
-        recomputes: Dict[int, int] = {}
-
-        while worklist:
-            class_id = worklist.popleft()
-            queued.discard(class_id)
-            rounds = recomputes.get(class_id, 0)
-            if rounds >= self.max_rounds:
-                continue
-            recomputes[class_id] = rounds + 1
-            fresh = self._class_candidates(class_id)
-            if fresh == self._entries.get(class_id, []):
-                continue
-            self._entries[class_id] = fresh
-            for _parent_node, parent_id in self.egraph.parent_enodes(class_id):
-                if self._restrict is not None and parent_id not in self._restrict:
-                    continue
-                if parent_id not in queued:
-                    queued.add(parent_id)
-                    worklist.append(parent_id)
-
-    def _class_candidates(self, class_id: int) -> List[_Candidate]:
-        """The k cheapest candidates derivable from current child tables."""
-        candidates: Dict[Tuple[ENode, Tuple[int, ...]], float] = {}
-        for enode in self.egraph.nodes(class_id):
-            for cost, node, indices in self._enode_candidates(enode, class_id):
-                key = (node, indices)
-                previous = candidates.get(key)
-                if previous is None or cost < previous:
-                    candidates[key] = cost
-        # Ties are broken by insertion order (deterministic for a given run).
-        ranked = sorted(
-            ((cost, node, indices) for (node, indices), cost in candidates.items()),
-            key=lambda entry: entry[0],
-        )
-        return ranked[: self.k]
-
-    def _enode_candidates(self, enode: ENode, class_id: int) -> List[_Candidate]:
-        """Candidate entries for one e-node from its children's tables."""
-        if not enode.args:
-            return [(self.cost_function(enode.op, ()), enode, ())]
-        child_classes = [self.egraph.find(arg) for arg in enode.args]
-        child_tables = []
-        for child in child_classes:
-            entries = self._entries.get(child)
-            if not entries:
-                return []
-            child_tables.append(entries)
-        # Bounded combination: explore child choices whose index sum is small,
-        # which covers the k cheapest combinations without a full product.
-        results: List[_Candidate] = []
-        for indices in self._bounded_index_tuples([len(t) for t in child_tables]):
-            child_costs = [child_tables[i][j][0] for i, j in enumerate(indices)]
-            cost = self.cost_function(enode.op, child_costs)
-            # Well-foundedness guard: a candidate that refers back to its own
-            # class while costing no more than the entry it refers to (only
-            # possible for non-monotone costs like reward-loops' discount)
-            # would displace every realizable term with an unmaterializable
-            # self-loop; drop it.  Self-references that cost strictly more
-            # than their referent sort after it and stay materializable.
-            if any(
-                child == class_id and cost <= child_costs[i]
-                for i, child in enumerate(child_classes)
-            ):
-                continue
-            results.append((cost, enode, indices))
-        return results
-
-    def _bounded_index_tuples(self, lengths: List[int]) -> List[Tuple[int, ...]]:
-        """Index tuples with a bounded index sum (cube-pruning style)."""
-        budget = self.k - 1
-        results: List[Tuple[int, ...]] = []
-
-        def go(position: int, remaining: int, prefix: Tuple[int, ...]) -> None:
-            if position == len(lengths):
-                results.append(prefix)
-                return
-            limit = min(lengths[position] - 1, remaining)
-            for index in range(limit + 1):
-                go(position + 1, remaining - index, prefix + (index,))
-
-        go(0, budget, ())
-        return results
-
-    # -- term materialization -----------------------------------------------------
-
-    def _term_at(
-        self, class_id: int, rank: int, in_progress: Set[Tuple[int, int]]
-    ) -> Optional[RankedTerm]:
-        """Materialize the term for one table entry, memoized per (class, rank).
-
-        Returns None for out-of-range ranks and for self-referential entries
-        (a candidate whose derivation would revisit itself — possible only
-        for cost functions where a node can be cheaper than its child).
-        """
-        class_id = self.egraph.find(class_id)
-        key = (class_id, rank)
-        if key in self._term_memo:
-            return self._term_memo[key]
-        if key in in_progress:
-            return None
-        entries = self._entries.get(class_id)
-        if not entries or rank >= len(entries):
-            return None
-        cost, enode, indices = entries[rank]
-        in_progress.add(key)
-        try:
-            children = []
-            for arg, child_rank in zip(enode.args, indices):
-                child = self._term_at(arg, child_rank, in_progress)
-                if child is None:
-                    self._term_memo[key] = None
-                    return None
-                children.append(child.term)
-        finally:
-            in_progress.discard(key)
-        ranked = RankedTerm(cost, Term(enode.op, tuple(children)))
-        self._term_memo[key] = ranked
-        return ranked
-
-    def _materialized(self, class_id: int) -> List[RankedTerm]:
-        """All table entries of a class as concrete terms, distinct, best first."""
-        class_id = self.egraph.find(class_id)
-        results: List[RankedTerm] = []
-        seen: Set[Term] = set()
-        for rank in range(len(self._entries.get(class_id, []))):
-            entry = self._term_at(class_id, rank, set())
-            if entry is None or entry.term in seen:
-                continue
-            seen.add(entry.term)
-            results.append(entry)
-        return results
+        self._engine = _KBestEngine(egraph, cost_function)
 
     # -- queries -----------------------------------------------------------------
 
     def extract_top_k(self, class_id: int) -> List[RankedTerm]:
-        """The k cheapest distinct terms of ``class_id``, best first."""
-        entries = self._materialized(class_id)
+        """Up to k cheapest distinct realizable terms, best first.
+
+        Fewer than k entries come back when the class offers fewer distinct
+        realizable terms (e.g. every other candidate descends into an
+        equivalence cycle).
+        """
+        stream = self._engine.stream(class_id)
+        entries: List[RankedTerm] = []
+        for rank in range(self.k):
+            entry = stream.get(rank)
+            if entry is None:
+                break
+            entries.append(entry)
         if not entries:
-            if self._entries.get(self.egraph.find(class_id)):
-                raise ExtractionError(
-                    f"only cyclic candidates for e-class {class_id}: the cost "
-                    "function is non-monotone and an equivalence cycle "
-                    "undercuts every realizable term"
-                )
             raise ExtractionError(f"no extractable term for e-class {class_id}")
-        return entries[: self.k]
+        return entries
 
     def best(self, class_id: int) -> RankedTerm:
-        """The single cheapest entry for ``class_id``."""
+        """The single cheapest realizable entry for ``class_id``."""
         return self.extract_top_k(class_id)[0]
 
     def best_per_enode(self, class_id: int) -> List[RankedTerm]:
@@ -376,13 +537,20 @@ class TopKExtractor:
         both views to build a useful top-k (see ``repro.core.pipeline``).
         """
         class_id = self.egraph.find(class_id)
+        find = self.egraph.find
+        blocked = frozenset((class_id,))
         results: List[RankedTerm] = []
-        seen = set()
+        seen: Set[Term] = set()
+        seen_nodes: Set[ENode] = set()
         for enode in self.egraph.nodes(class_id):
+            enode = enode.canonicalize(find)
+            if enode in seen_nodes:
+                continue
+            seen_nodes.add(enode)
             child_entries = []
             missing = False
             for arg in enode.args:
-                child = self._term_at(self.egraph.find(arg), 0, set())
+                child = self._engine.stream(arg, blocked).get(0)
                 if child is None:
                     missing = True
                     break

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.egraph.egraph import EGraph
+from repro.egraph.egraph import Analysis, EGraph
 from repro.egraph.pattern import CompiledRuleSet, IncrementalMatcher
 from repro.egraph.rewrite import BaseRewrite, RewriteMatch
 
@@ -163,6 +163,11 @@ class IterationReport:
     cached_matches: int = 0
     trie_nodes: int = 0
     trie_programs: int = 0
+    #: E-class analysis data changes (creations + improvements) performed
+    #: during this iteration — 0 when no analysis is registered.  With a
+    #: cost analysis riding along this is the incremental-extraction work
+    #: the post-hoc fixpoint no longer has to do.
+    analysis_updates: int = 0
 
     @property
     def total_firings(self) -> int:
@@ -231,6 +236,15 @@ class Runner:
     it must cover exactly this runner's rule names, and implies incremental
     search unless ``incremental=False`` is passed explicitly.  Match
     semantics are identical either way — only the search cost differs.
+
+    ``analyses`` lists e-class analyses (e.g. the extraction
+    :class:`~repro.egraph.extract.CostAnalysis`) to register on the e-graph
+    at the start of every :meth:`run` — registration is retroactive and
+    idempotent, so the same runner can be re-run and the same analysis can
+    already be riding on the graph.  Their data is then maintained
+    incrementally through the whole saturation, and each
+    :class:`IterationReport` carries the number of analysis updates the
+    iteration performed.
     """
 
     def __init__(
@@ -241,6 +255,7 @@ class Runner:
         backoff: Optional[BackoffConfig] = None,
         incremental: Optional[bool] = None,
         compiled: Optional[CompiledRuleSet] = None,
+        analyses: Sequence[Analysis] = (),
     ):
         self.rules = list(rules)
         self.limits = limits or RunnerLimits()
@@ -252,6 +267,7 @@ class Runner:
                 f"compiled={sorted(compiled.rule_names)} "
                 f"runner={sorted(r.name for r in self.rules)}"
             )
+        self.analyses = list(analyses)
         self.incremental = (compiled is not None) if incremental is None else incremental
         self.compiled = compiled
         if self.incremental and self.compiled is None:
@@ -328,12 +344,15 @@ class Runner:
         # also makes it safe to take over the graph's dirty stream from any
         # previous consumer (mutations between runs are then irrelevant).
         self.matcher = IncrementalMatcher(self.compiled) if self.incremental else None
+        for analysis in self.analyses:
+            egraph.register_analysis(analysis)
         egraph.rebuild()  # searches must always see canonical ids
 
         iteration = 0
         while iteration < self.limits.max_iterations:
             iteration_start = time.perf_counter()
             version_before = egraph.version
+            updates_before = egraph.analysis_updates
             it_report = IterationReport(index=iteration)
 
             searched = self._search_phase(egraph, iteration, it_report)
@@ -349,6 +368,7 @@ class Runner:
 
             it_report.enodes_after = egraph.total_enodes
             it_report.classes_after = len(egraph)
+            it_report.analysis_updates = egraph.analysis_updates - updates_before
             it_report.seconds = time.perf_counter() - iteration_start
             report.iterations.append(it_report)
 

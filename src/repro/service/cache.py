@@ -15,15 +15,25 @@ The value stored is the JSON form of
 Writes go through a temporary file + ``os.replace`` so a crashed or killed
 worker driver never leaves a torn entry behind; unreadable entries are
 treated as misses and removed.
+
+The disk tier can be bounded (``max_entries``/``max_bytes``): when a store
+pushes it over either limit, least-recently-used entries are evicted, with
+recency approximated by file mtime — cache reads (from either tier) *touch*
+their entry, so a hot entry survives even when it was written long ago.
+Usage is scanned lazily and maintained incrementally afterwards, and
+eviction candidates are drained from the last scan's mtime-ordered queue
+(stale candidates — touched since the scan — are skipped, and the queue is
+rebuilt only when it runs dry), so puts stay amortized O(1) even at the
+cap.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.config import SynthesisConfig
 from repro.lang.canon import fingerprint_text, term_fingerprint
@@ -43,17 +53,37 @@ class ResultCache:
     disk).  Hit/miss counters are per-instance: a fresh instance over a
     populated directory starts at zero, which is what lets a warm re-run
     report its own 100% hit rate.
+
+    ``max_entries``/``max_bytes`` bound the disk tier; ``None`` means
+    unbounded.  Exceeding either limit evicts entries oldest-mtime-first
+    (reads touch their entry, making mtime an LRU clock — see the module
+    docstring).
     """
 
-    def __init__(self, directory=None, memory_capacity: int = 128):
+    def __init__(
+        self,
+        directory=None,
+        memory_capacity: int = 128,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ):
         self.directory = Path(directory) if directory is not None else None
         self.memory_capacity = memory_capacity
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        #: Lazily scanned (entry count, total bytes) of the disk tier;
+        #: None until the first operation that needs it.
+        self._disk_usage: Optional[Tuple[int, int]] = None
+        #: Eviction candidates from the last scan, oldest mtime first;
+        #: entries are verified (and stale ones skipped) before removal.
+        self._eviction_queue: deque = deque()
         self.hits = 0
         self.misses = 0
         self.memory_hits = 0
         self.disk_hits = 0
         self.stores = 0
+        self.evictions = 0
 
     # -- lookup ---------------------------------------------------------------
 
@@ -62,6 +92,12 @@ class ResultCache:
         payload = self._memory.get(key)
         if payload is not None:
             self._memory.move_to_end(key)
+            if self._bounded():
+                # A memory-tier hit is still a use of the disk entry: keep
+                # its mtime (the eviction policy's LRU clock) fresh, or a
+                # hot entry would be evicted from disk while being served
+                # from memory and then miss in the next process.
+                self._touch(self._path(key))
             self.hits += 1
             self.memory_hits += 1
             return payload
@@ -104,15 +140,25 @@ class ResultCache:
         if path is None or not path.exists():
             return None
         try:
-            return json.loads(path.read_text())
+            payload = json.loads(path.read_text())
         except (OSError, ValueError):
             # A torn or corrupt entry is as good as absent; drop it so the
             # slot can be rewritten cleanly.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._drop_entry(path)
             return None
+        # Touch the entry: mtime is the eviction policy's LRU clock, so a
+        # read must refresh recency just like the memory tier does.
+        self._touch(path)
+        return payload
+
+    @staticmethod
+    def _touch(path: Optional[Path]) -> None:
+        if path is None:
+            return
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     def _write_disk(self, key: str, payload: dict) -> None:
         path = self._path(key)
@@ -120,8 +166,129 @@ class ResultCache:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload))
+        text = json.dumps(payload)
+        tmp.write_text(text)
+        old_size = None
+        try:
+            old_size = path.stat().st_size
+        except OSError:
+            pass
         os.replace(tmp, path)
+        if self._disk_usage is not None:
+            entries, used = self._disk_usage
+            if old_size is None:
+                self._disk_usage = (entries + 1, used + len(text.encode()))
+            else:
+                # Overwrite: the entry count is unchanged but the payload
+                # size may differ — account the delta or the byte budget
+                # silently drifts from reality.
+                self._disk_usage = (entries, used - old_size + len(text.encode()))
+        self._evict_disk()
+
+    # -- disk-tier eviction ----------------------------------------------------
+
+    def _bounded(self) -> bool:
+        return self.directory is not None and (
+            self.max_entries is not None or self.max_bytes is not None
+        )
+
+    def _ensure_usage(self) -> Tuple[int, int]:
+        if self._disk_usage is None:
+            entries = 0
+            used = 0
+            if self.directory is not None and self.directory.exists():
+                for path in self.directory.glob("*/*.json"):
+                    try:
+                        used += path.stat().st_size
+                    except OSError:
+                        continue
+                    entries += 1
+            self._disk_usage = (entries, used)
+        return self._disk_usage
+
+    def _over_limit(self) -> bool:
+        entries, used = self._ensure_usage()
+        if self.max_entries is not None and entries > self.max_entries:
+            return True
+        return self.max_bytes is not None and used > self.max_bytes
+
+    def _rescan_disk(self) -> None:
+        """Rebuild usage and the eviction queue from the directory.
+
+        Also re-seeds usage, because another process may have written
+        entries this instance never accounted for.
+        """
+        candidates = []
+        for path in self.directory.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            candidates.append((stat.st_mtime, str(path), stat.st_size))
+        candidates.sort()
+        self._eviction_queue = deque(candidates)
+        self._disk_usage = (len(candidates), sum(size for _, _, size in candidates))
+
+    def _next_victim(self) -> Optional[Path]:
+        """The oldest still-valid queued candidate, or None when dry.
+
+        A candidate whose mtime moved since the scan was *used* in the
+        meantime — it is hot now, so it is skipped until the next rescan
+        re-ranks it.
+        """
+        while self._eviction_queue:
+            mtime, path_text, _size = self._eviction_queue.popleft()
+            path = Path(path_text)
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # already gone; a rescan will fix the usage count
+            if stat.st_mtime != mtime:
+                continue
+            return path
+        return None
+
+    def _evict_disk(self) -> None:
+        """Drop least-recently-used entries until within the limits.
+
+        Candidates drain from the last scan's queue (one stat per eviction)
+        so steady-state puts at the cap stay amortized O(1); the full
+        glob+stat rescan runs only when the queue is dry.
+        """
+        if not self._bounded() or not self._over_limit():
+            return
+        rescanned = False
+        while self._over_limit():
+            victim = self._next_victim()
+            if victim is None:
+                if rescanned:
+                    break
+                self._rescan_disk()
+                rescanned = True
+                continue
+            if self._drop_entry(victim):
+                self.evictions += 1
+
+    def _drop_entry(self, path: Path) -> bool:
+        """Unlink a disk entry, keeping the usage accounting in step.
+
+        Every removal — eviction or a corrupt entry dropped on read — must
+        go through here, or the tracked usage drifts high and later puts
+        evict healthy entries that are actually within the limits.
+        """
+        size = 0
+        try:
+            size = path.stat().st_size
+        except OSError:
+            pass
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        if self._disk_usage is not None:
+            entries, used = self._disk_usage
+            self._disk_usage = (max(entries - 1, 0), max(used - size, 0))
+        return True
 
     # -- statistics -----------------------------------------------------------
 
@@ -145,8 +312,11 @@ class ResultCache:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "stores": self.stores,
+            "evictions": self.evictions,
             "hit_rate": self.hit_rate,
             "memory_entries": len(self._memory),
             "disk_entries": self.disk_entries(),
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
             "directory": str(self.directory) if self.directory is not None else None,
         }

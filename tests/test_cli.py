@@ -95,6 +95,51 @@ class TestParser:
         assert args.jobs == 3
         assert args.cache == "/tmp/c"
         assert args.timeout == 2.5
+        assert args.cache_max_mb is None
+
+    def test_topk_alias_threads_into_the_config(self):
+        args = build_parser().parse_args(["--topk", "7", "list"])
+        assert args.top_k == 7
+        assert _config_from_args(args).top_k == 7
+
+    def test_no_incremental_extraction_threads_into_the_config(self):
+        args = build_parser().parse_args(["--no-incremental-extraction", "list"])
+        config = _config_from_args(args)
+        assert config.incremental_extraction is False
+        # The knob is schedule-only: it must not change the cache identity.
+        assert config.fingerprint() == _config_from_args(
+            build_parser().parse_args(["list"])
+        ).fingerprint()
+
+    def test_run_is_an_alias_for_synth(self):
+        args = build_parser().parse_args(["run", "model.csg"])
+        assert args.input == "model.csg"
+
+    def test_cache_max_mb_option(self):
+        from repro.cli import _build_cache
+
+        args = build_parser().parse_args(
+            ["batch", "a.csg", "--cache", "/tmp/c", "--cache-max-mb", "1.5"]
+        )
+        assert args.cache_max_mb == 1.5
+        cache = _build_cache(args)
+        assert cache.max_bytes == int(1.5 * 1024 * 1024)
+
+    def test_cache_max_mb_rejects_non_positive(self):
+        from repro.cli import _build_cache
+
+        args = build_parser().parse_args(
+            ["batch", "a.csg", "--cache", "/tmp/c", "--cache-max-mb", "0"]
+        )
+        with pytest.raises(SystemExit):
+            _build_cache(args)
+
+    def test_cache_max_mb_requires_cache(self):
+        from repro.cli import _build_cache
+
+        args = build_parser().parse_args(["batch", "a.csg", "--cache-max-mb", "8"])
+        with pytest.raises(SystemExit, match="requires --cache"):
+            _build_cache(args)
 
 
 class TestCommands:

@@ -1,10 +1,10 @@
-"""Extraction tests: cube pruning, cost-function behavior, worklist parity.
+"""Extraction tests: lazy k-best heaps, cost-function behavior, cycles.
 
-These pin the behavior of the top-k candidate combination
-(`_bounded_index_tuples` assumes cost is monotone in child rank — true for
-``ast-size``, violable by ``reward-loops``'s loop-body discount) and of
-``best_per_enode`` on merged classes, plus parity between the worklist
-extractors and brute-force expectations.
+These pin the behavior of the lazy (Eppstein-style) k-best candidate
+streams — distinct realizable terms in cost order, full coverage of child
+rank combinations, correct best terms on equivalence cycles under both
+monotone and non-monotone costs — and of ``best_per_enode`` on merged
+classes, plus parity between the extractors and brute-force expectations.
 """
 
 import pytest
@@ -16,38 +16,66 @@ from repro.egraph.rewrite import rewrite
 from repro.lang.term import Term
 
 
-class TestBoundedIndexTuples:
-    def _tuples(self, k, lengths):
+class TestLazyKBestStreams:
+    def _merged_class(self, egraph, alternatives):
+        """A class holding several disjoint alternatives (distinct costs)."""
+        ids = [egraph.add_term(term) for term in alternatives]
+        for other in ids[1:]:
+            egraph.merge(ids[0], other)
+        egraph.rebuild()
+        return egraph.find(ids[0])
+
+    #: Three equivalent variants with ast-size costs 1, 2, 3 — structurally
+    #: disjoint, so merging them creates no equivalence cycles.
+    _LEFT = ["A", "(F B)", "(G (H C))"]
+    _RIGHT = ["X", "(P Y)", "(Q (R Z))"]
+
+    def test_k1_returns_only_the_cheapest_combination(self):
         egraph = EGraph()
-        egraph.add_leaf("X")
-        extractor = TopKExtractor(egraph, ast_size_cost, k=k)
-        return extractor._bounded_index_tuples(lengths)
+        left = self._merged_class(egraph, [Term.parse(t) for t in self._LEFT])
+        right = self._merged_class(egraph, [Term.parse(t) for t in self._RIGHT])
+        root = egraph.add_enode(ENode("Union", (left, right)))
+        entries = TopKExtractor(egraph, ast_size_cost, k=1).extract_top_k(root)
+        assert entries == [entries[0]]
+        assert entries[0].term == Term.parse("(Union A X)")
+        assert entries[0].cost == 3.0
 
-    def test_k1_explores_only_best_children(self):
-        assert self._tuples(1, [3, 3]) == [(0, 0)]
+    def test_streams_cover_all_rank_combinations(self):
+        # The old cube pruning only explored bounded index sums; the lazy
+        # heaps must enumerate *every* combination in cost order when asked
+        # for enough entries.
+        egraph = EGraph()
+        left = self._merged_class(egraph, [Term.parse(t) for t in self._LEFT])
+        right = self._merged_class(egraph, [Term.parse(t) for t in self._RIGHT])
+        root = egraph.add_enode(ENode("Union", (left, right)))
+        entries = TopKExtractor(egraph, ast_size_cost, k=9).extract_top_k(root)
+        assert len(entries) == 9  # the full 3x3 product
+        child_costs = [1.0, 2.0, 3.0]
+        expected = sorted(1.0 + a + b for a in child_costs for b in child_costs)
+        assert [e.cost for e in entries] == expected
+        assert len({e.term for e in entries}) == 9
 
-    def test_budget_is_k_minus_one(self):
-        tuples = self._tuples(3, [5, 5])
-        assert set(tuples) == {
-            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 0),
-        }
-        assert all(sum(t) <= 2 for t in tuples)
+    def test_exhausted_streams_return_fewer_than_k(self):
+        egraph = EGraph()
+        root = egraph.add_term(Term.parse("(Union A B)"))
+        entries = TopKExtractor(egraph, ast_size_cost, k=10).extract_top_k(root)
+        assert [e.term for e in entries] == [Term.parse("(Union A B)")]
 
-    def test_short_child_lists_clamp_indices(self):
-        tuples = self._tuples(4, [1, 2])
-        assert set(tuples) == {(0, 0), (0, 1)}
-
-    def test_covers_k_cheapest_combinations_for_monotone_costs(self):
-        # With costs monotone in child rank, the k cheapest combinations all
-        # have index sum <= k - 1, so the cube covers them.
-        k = 4
-        tuples = self._tuples(k, [k, k])
-        child_costs = [1.0, 2.0, 3.0, 4.0]
-        all_combo_costs = sorted(
-            child_costs[i] + child_costs[j] for i in range(k) for j in range(k)
-        )
-        covered = sorted(child_costs[i] + child_costs[j] for i, j in tuples)
-        assert covered[:k] == all_combo_costs[:k]
+    def test_congruent_enodes_collapse_to_one_candidate(self):
+        # Before a rebuild a class can hold two e-nodes that canonicalize to
+        # the same thing; the streams must not enumerate their (identical)
+        # derivations twice.
+        egraph = EGraph()
+        a = egraph.add_leaf("A")
+        b = egraph.add_leaf("B")
+        fa = egraph.add_enode(ENode("F", (a,)))
+        fb = egraph.add_enode(ENode("F", (b,)))
+        egraph.merge(a, b)
+        egraph.merge(fa, fb)  # one class now holds F(a) and F(b), congruent
+        entries = TopKExtractor(egraph, ast_size_cost, k=8).extract_top_k(fa)
+        assert len(entries) == 2
+        assert {e.term for e in entries} == {Term.parse("(F A)"), Term.parse("(F B)")}
+        assert [e.cost for e in entries] == [2.0, 2.0]
 
 
 def _merge_equivalent(egraph, term_a, term_b):
@@ -199,23 +227,39 @@ class TestWorklistParity:
         assert single.extract(u) == Term.parse("(Union A B)")
         assert single.cost_of(u) == 3.0
 
-    def test_indirect_cycle_raises_descriptive_error_not_recursion(self):
+    def test_indirect_cycle_extracts_the_best_realizable_term(self):
         # A mutual Mapi cycle undercuts every realizable term under the
-        # discount; local guards cannot exclude it, so both extractors must
-        # fail with a clear ExtractionError instead of recursing forever
-        # (pinned limitation, see ROADMAP).
-        from repro.egraph.extract import ExtractionError
-
+        # discount: the fixpoint best is an unmaterializable infinite tower.
+        # The k-best streams rank only acyclic derivations, so both
+        # extractors now return the correct best realizable term instead of
+        # raising (this used to be a pinned ExtractionError limitation).
         egraph = EGraph()
-        a = egraph.add_term(
-            Term.parse("(Union (Union P Q) (Union R (Union S T)))")  # 9 nodes
-        )
+        flat = Term.parse("(Union (Union P Q) (Union R (Union S T)))")  # 9 nodes
+        a = egraph.add_term(flat)
         egraph.merge(egraph.add_enode(ENode("Mapi", (egraph.add_enode(ENode("Mapi", (a,))),))), a)
         egraph.rebuild()
         single = Extractor(egraph, reward_loops_cost_fn)
-        with pytest.raises(ExtractionError, match="cyclic"):
-            single.extract(a)
-        with pytest.raises(ExtractionError, match="cyclic"):
-            TopKExtractor(egraph, reward_loops_cost_fn, k=2).extract_top_k(a)
-        # The same graph is perfectly extractable under the monotone cost.
+        assert single.extract(a) == flat
+        assert single.cost_of(a) == 9.0
+        entries = TopKExtractor(egraph, reward_loops_cost_fn, k=2).extract_top_k(a)
+        assert entries[0].term == flat
+        assert entries[0].cost == 9.0
+        # Every other candidate at the root descends into the cycle, so the
+        # realizable stream holds exactly one term.
+        assert len(entries) == 1
+        # The same graph extracts identically under the monotone cost.
         assert TopKExtractor(egraph, ast_size_cost, k=2).extract_top_k(a)[0].cost == 9.0
+
+    def test_cycle_member_classes_still_extract_through_the_cycle(self):
+        # The inner class of the cycle (Mapi a) is itself realizable as long
+        # as its derivation does not revisit *itself*: descending into a's
+        # flat variant is fine and keeps the discount.
+        egraph = EGraph()
+        flat = Term.parse("(Union (Union P Q) (Union R (Union S T)))")
+        a = egraph.add_term(flat)
+        inner = egraph.add_enode(ENode("Mapi", (a,)))
+        egraph.merge(egraph.add_enode(ENode("Mapi", (inner,))), a)
+        egraph.rebuild()
+        best = TopKExtractor(egraph, reward_loops_cost_fn, k=2).best(inner)
+        assert best.term == Term("Mapi", (flat,))
+        assert best.cost == 1.0 + 0.25 * 9.0

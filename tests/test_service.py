@@ -142,6 +142,141 @@ class TestResultCache:
         assert cache.hits == 0 and cache.misses == 0
 
 
+class TestResultCacheEviction:
+    def _keys(self, n):
+        return [format(i, "x").rjust(64, "0") for i in range(n)]
+
+    def _set_mtime(self, cache, key, when):
+        import os
+
+        os.utime(cache._path(key), (when, when))
+
+    def test_max_entries_evicts_oldest_mtime_first(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_capacity=0, max_entries=2)
+        a, b, c = self._keys(3)
+        cache.put(a, {"v": 1})
+        cache.put(b, {"v": 2})
+        self._set_mtime(cache, a, 1_000)
+        self._set_mtime(cache, b, 2_000)
+        cache.put(c, {"v": 3})  # over the limit: a (oldest) must go
+        assert cache.get(a) is None
+        assert cache.get(b) == {"v": 2}
+        assert cache.get(c) == {"v": 3}
+        assert cache.evictions == 1
+        assert cache.disk_entries() == 2
+
+    def test_max_bytes_evicts_until_under_budget(self, tmp_path):
+        payload = {"blob": "x" * 512}
+        entry_size = len(__import__("json").dumps(payload).encode())
+        cache = ResultCache(
+            tmp_path, memory_capacity=0, max_bytes=int(entry_size * 2.5)
+        )
+        keys = self._keys(4)
+        for stamp, key in enumerate(keys):
+            cache.put(key, payload)
+            self._set_mtime(cache, key, 1_000 * (stamp + 1))
+        # Budget holds two entries; the two oldest must have been evicted.
+        assert cache.disk_entries() == 2
+        assert cache.get(keys[0]) is None and cache.get(keys[1]) is None
+        assert cache.get(keys[2]) == payload and cache.get(keys[3]) == payload
+
+    def test_disk_reads_refresh_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_capacity=0, max_entries=2)
+        a, b, c = self._keys(3)
+        cache.put(a, {"v": 1})
+        cache.put(b, {"v": 2})
+        self._set_mtime(cache, a, 1_000)
+        self._set_mtime(cache, b, 2_000)
+        assert cache.get(a) == {"v": 1}  # touch: a is now the hot entry
+        cache.put(c, {"v": 3})
+        assert cache.get(a) == {"v": 1}
+        assert cache.get(b) is None  # b became the LRU entry and was evicted
+        assert cache.get(c) == {"v": 3}
+
+    def test_fresh_instance_accounts_for_preexisting_entries(self, tmp_path):
+        a, b, c = self._keys(3)
+        seed = ResultCache(tmp_path, memory_capacity=0)
+        seed.put(a, {"v": 1})
+        seed.put(b, {"v": 2})
+        self._set_mtime(seed, a, 1_000)
+        self._set_mtime(seed, b, 2_000)
+        bounded = ResultCache(tmp_path, memory_capacity=0, max_entries=2)
+        bounded.put(c, {"v": 3})  # 3 entries on disk now: a must be evicted
+        assert bounded.disk_entries() == 2
+        assert bounded.get(a) is None
+        assert bounded.get(b) == {"v": 2} and bounded.get(c) == {"v": 3}
+
+    def test_overwrites_account_for_the_size_delta(self, tmp_path):
+        # Regression: an overwrite used to leave the tracked byte usage at
+        # the old entry's size, letting the disk tier grow past max_bytes
+        # without ever evicting.
+        payload = {"blob": "x" * 2048}
+        entry_size = len(__import__("json").dumps(payload).encode())
+        cache = ResultCache(tmp_path, memory_capacity=0, max_bytes=entry_size + 10)
+        (key,) = self._keys(1)
+        cache.put(key, {"v": 0})  # tiny entry, well under budget
+        for _ in range(3):
+            cache.put(key, payload)  # overwrites must track the real size
+        # One fat entry fits the budget exactly; usage must reflect it.
+        assert cache._disk_usage == (1, entry_size)
+        other = format(1, "x").rjust(64, "1")
+        self._set_mtime(cache, key, 1_000)
+        cache.put(other, payload)  # now over budget: the old entry goes
+        assert cache.get(key) is None
+        assert cache.evictions >= 1
+
+    def test_memory_tier_hits_keep_the_disk_entry_hot(self, tmp_path):
+        # Regression: memory-tier hits used to leave the disk mtime stale,
+        # so the hottest entry was evicted from the bounded disk tier.
+        cache = ResultCache(tmp_path, memory_capacity=8, max_entries=2)
+        a, b, c = self._keys(3)
+        cache.put(a, {"v": 1})
+        cache.put(b, {"v": 2})
+        self._set_mtime(cache, a, 1_000)
+        self._set_mtime(cache, b, 2_000)
+        assert cache.get(a) == {"v": 1}  # memory hit: must touch disk too
+        assert cache.memory_hits == 1
+        cache.put(c, {"v": 3})
+        fresh = ResultCache(tmp_path)  # no memory tier state
+        assert fresh.get(a) == {"v": 1}
+        assert fresh.get(b) is None  # b was the LRU entry
+
+    def test_corrupt_entry_drop_updates_the_usage_accounting(self, tmp_path):
+        # Regression: dropping a corrupt entry on read left the tracked
+        # usage overcounted, so later puts evicted healthy entries that
+        # were actually within the limits.
+        cache = ResultCache(tmp_path, memory_capacity=0, max_entries=3)
+        a, b, c, d = self._keys(4)
+        for stamp, key in enumerate((a, b, c)):
+            cache.put(key, {"v": stamp})
+            self._set_mtime(cache, key, 1_000 * (stamp + 1))
+        cache._path(a).write_text("{not json")  # corrupt the oldest entry
+        assert cache.get(a) is None  # dropped, and accounted for
+        assert cache._disk_usage[0] == 2
+        cache.put(d, {"v": 3})  # back at the limit of 3: nothing to evict
+        assert cache.evictions == 0
+        assert cache.get(b) == {"v": 1} and cache.get(c) == {"v": 2}
+        assert cache.get(d) == {"v": 3}
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_capacity=0)
+        for key in self._keys(5):
+            cache.put(key, {"v": 0})
+        assert cache.evictions == 0 and cache.disk_entries() == 5
+        assert cache.stats()["max_entries"] is None
+
+    def test_stats_expose_limits_and_evictions(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_capacity=0, max_entries=1)
+        a, b = self._keys(2)
+        cache.put(a, {"v": 1})
+        self._set_mtime(cache, a, 1_000)
+        cache.put(b, {"v": 2})
+        stats = cache.stats()
+        assert stats["max_entries"] == 1
+        assert stats["evictions"] == 1
+        assert stats["disk_entries"] == 1
+
+
 # ---------------------------------------------------------------------------
 # Inline execution: error capture and event stream
 # ---------------------------------------------------------------------------
