@@ -488,3 +488,154 @@ def test_incremental_extraction_at_least_2x_faster_extraction_phase():
         f"(post-hoc {posthoc['extract_seconds']:.3f}s vs "
         f"analysis {riding['extract_seconds']:.3f}s)"
     )
+
+
+# ---------------------------------------------------------------------------
+# Apply-phase dedup (PR 5): re-apply every match vs the applied-match ledger
+# ---------------------------------------------------------------------------
+
+#: The apply-phase / end-to-end speedups the dedup ledger must demonstrate
+#: on the match-heavy workload (PR 5's acceptance gate).
+REQUIRED_APPLY_DEDUP_SPEEDUP = 5.0
+REQUIRED_APPLY_DEDUP_E2E_SPEEDUP = 1.5
+
+
+def _affine_tower_chain(count: int) -> Term:
+    """A union chain whose elements are translate∘rotate∘scale towers.
+
+    Every pair of towers feeds the (pure-dynamic) affine reorder/collapse
+    rules and the guarded lifting rules, so the match population is large,
+    dominated by deduplicable rules, and — because the small-step fold rules
+    advance the chain one element per iteration — rediscovered for dozens of
+    epochs after it last fired anything.  This is the "8k matches, zero
+    firings, yet every match re-instantiated" shape the dedup ledger exists
+    for.
+    """
+    from repro.csg.build import cube, rotate, scale, translate, union
+
+    def element(index: int) -> Term:
+        return translate(
+            3.0 * index, 0.0, 0.0,
+            rotate(0.0, 0.0, 15.0 * index, scale(2.0, 2.0, 2.0, cube())),
+        )
+
+    chain = element(count - 1)
+    for index in range(count - 2, -1, -1):
+        chain = union(element(index), chain)
+    return chain
+
+
+def _small_step_rules():
+    """The default rule database minus the big-step chain-fold rules.
+
+    The big-step rule folds a whole chain in one firing; without it the
+    syntactic fold-cons rules advance one element per iteration, giving the
+    run a long quiescent tail in which every other match is stale — the
+    match-heavy regime this benchmark measures.  (The rule mix is otherwise
+    the paper's, including the guarded lifting and pure-dynamic reorder /
+    collapse rules.)
+    """
+    return [r for r in default_rules() if not r.name.startswith("fold-chain")]
+
+
+def _measure_dedup(model: Term, rules, limits: RunnerLimits, *, dedup: bool) -> dict:
+    egraph = EGraph()
+    root = egraph.add_term(model)
+    start = time.perf_counter()
+    report = Runner(
+        rules, limits, backoff=BackoffConfig(), incremental=True, dedup=dedup
+    ).run(egraph)
+    total = time.perf_counter() - start
+    best = Extractor(egraph, ast_size_cost).cost_of(root)
+    zero_firing_late = [
+        it for it in report.iterations[1:] if it.total_firings == 0 and sum(it.matches.values()) > 0
+    ]
+    return {
+        "mode": "dedup-ledger" if dedup else "re-apply-everything",
+        "stop_reason": report.stop_reason.value,
+        "iterations": len(report.iterations),
+        "matches": sum(sum(it.matches.values()) for it in report.iterations),
+        "applied_matches": sum(it.applied_matches for it in report.iterations),
+        "skipped_applications": sum(it.skipped_applications for it in report.iterations),
+        "apply_seconds": sum(it.apply_seconds for it in report.iterations),
+        "search_seconds": sum(it.search_seconds for it in report.iterations),
+        "rebuild_seconds": sum(it.rebuild_seconds for it in report.iterations),
+        "total_seconds": total,
+        "best_cost": best,
+        "enodes": egraph.total_enodes,
+        "classes": len(egraph),
+        "zero_firing_iterations": len(zero_firing_late),
+        "zero_firing_applied": sum(it.applied_matches for it in zero_firing_late),
+        "zero_firing_matches": sum(sum(it.matches.values()) for it in zero_firing_late),
+        "final_iteration": {
+            "matches": sum(report.iterations[-1].matches.values()),
+            "firings": report.iterations[-1].total_firings,
+            "applied": report.iterations[-1].applied_matches,
+            "skipped": report.iterations[-1].skipped_applications,
+            "enodes_created": report.iterations[-1].enodes_created,
+        },
+    }
+
+
+@pytest.mark.figure
+def test_apply_dedup_at_least_5x_faster_apply_phase():
+    """Re-apply-everything vs the applied-match ledger on match-heavy runs.
+
+    The acceptance gate for the apply-phase overhaul: on the affine-tower
+    chain (the headline match-heavy workload) the apply phase must be >= 5x
+    faster and the whole saturation >= 1.5x faster with the ledger on, with
+    byte-identical best costs and final graphs, and the late zero-firing
+    iterations must perform ~zero instantiations (the final quiescent
+    iteration allocates nothing at all).  The gear under the same rule set
+    is recorded alongside as a second datapoint.
+    """
+    limits = RunnerLimits(max_iterations=60, max_enodes=200_000, max_seconds=60.0)
+    workloads = {
+        "affine-tower-chain-50": _affine_tower_chain(50),
+        "gear-small-step": gear_model(),
+    }
+    rules = _small_step_rules()
+
+    recorded = {}
+    for name, model in workloads.items():
+        off = _measure_dedup(model, rules, limits, dedup=False)
+        on = _measure_dedup(model, rules, limits, dedup=True)
+        assert on["best_cost"] == off["best_cost"], name
+        assert on["enodes"] == off["enodes"], name
+        assert on["classes"] == off["classes"], name
+        assert on["stop_reason"] == off["stop_reason"], name
+        recorded[name] = {
+            "model_nodes": model.size(),
+            "off": off,
+            "on": on,
+            "apply_speedup": off["apply_seconds"] / max(on["apply_seconds"], 1e-9),
+            "e2e_speedup": off["total_seconds"] / max(on["total_seconds"], 1e-9),
+        }
+
+    headline = recorded["affine-tower-chain-50"]
+    _record(
+        {
+            "apply_dedup": {
+                "workloads": recorded,
+                "apply_speedup": headline["apply_speedup"],
+                "e2e_speedup": headline["e2e_speedup"],
+            }
+        }
+    )
+
+    on = headline["on"]
+    # Late zero-firing iterations: thousands of matches, ~zero instantiations.
+    assert on["zero_firing_matches"] > 1000
+    assert on["zero_firing_applied"] <= on["zero_firing_matches"] * 0.02
+    assert on["final_iteration"]["applied"] == 0
+    assert on["final_iteration"]["enodes_created"] == 0
+    assert on["final_iteration"]["skipped"] == on["final_iteration"]["matches"]
+
+    assert headline["apply_speedup"] >= REQUIRED_APPLY_DEDUP_SPEEDUP, (
+        f"apply dedup only {headline['apply_speedup']:.2f}x faster in the apply phase "
+        f"(off {headline['off']['apply_seconds']:.3f}s vs on {on['apply_seconds']:.3f}s)"
+    )
+    assert headline["e2e_speedup"] >= REQUIRED_APPLY_DEDUP_E2E_SPEEDUP, (
+        f"apply dedup only {headline['e2e_speedup']:.2f}x faster end to end "
+        f"(off {headline['off']['total_seconds']:.3f}s vs on {on['total_seconds']:.3f}s)"
+    )

@@ -83,6 +83,7 @@ def _config_from_args(args: argparse.Namespace) -> SynthesisConfig:
         max_seconds=args.max_seconds,
         incremental_search=not args.no_incremental,
         incremental_extraction=not args.no_incremental_extraction,
+        apply_dedup=not args.no_apply_dedup,
     )
     if args.rules is not None:
         kwargs["rule_categories"] = args.rules
@@ -143,6 +144,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         worker_count=args.jobs,
         cache=cache,
         on_event=_print_event if args.progress else None,
+        persistent=args.persistent_workers,
     )
     print(format_table(report.rows, report.failures))
     if cache is not None and report.batch is not None:
@@ -198,7 +200,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 2
 
     cache = _build_cache(args)
-    service = SynthesisService(worker_count=args.jobs, cache=cache, on_event=_print_event)
+    service = SynthesisService(
+        worker_count=args.jobs,
+        cache=cache,
+        on_event=_print_event,
+        persistent=args.persistent_workers,
+    )
     batch = service.run_batch(jobs)
 
     failures = build_failures + batch.failed
@@ -270,6 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
         "costs from scratch at extraction time)",
     )
     parser.add_argument(
+        "--no-apply-dedup", action="store_true",
+        help="disable the apply-phase dedup ledger (re-apply every match "
+        "every iteration)",
+    )
+    parser.add_argument(
         "--rules", type=_rule_categories, default=None, metavar="CAT[,CAT...]",
         help=(
             "rewrite-rule categories: a plain list REPLACES the default set, "
@@ -297,6 +309,11 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument(
         "--jobs", type=int, default=0,
         help="worker processes (0 = run in-process)",
+    )
+    table1.add_argument(
+        "--persistent-workers", action="store_true",
+        help="keep worker processes alive across jobs within the batch "
+        "(amortizes startup; crashed workers are respawned)",
     )
     table1.add_argument("--cache", help="content-addressed result cache directory")
     table1.add_argument(
@@ -326,6 +343,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--jobs", type=int, default=0, help="worker processes (0 = run in-process)"
+    )
+    batch.add_argument(
+        "--persistent-workers", action="store_true",
+        help="keep worker processes alive across jobs within the batch "
+        "(amortizes startup; crashed workers are respawned)",
     )
     batch.add_argument("--cache", help="content-addressed result cache directory")
     batch.add_argument(

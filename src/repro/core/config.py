@@ -61,6 +61,14 @@ class SynthesisConfig:
     #: the knob exists for ablation/debugging, not correctness.
     incremental_search: bool = True
 
+    #: Skip apply-phase re-application of matches that already executed
+    #: under an identical canonical fingerprint (the runner's applied-match
+    #: ledger).  Skipped matches are exactly the ones whose re-application
+    #: would merge a class with itself, so results are identical either way
+    #: (``tests/test_apply_dedup.py`` pins the parity) — an
+    #: ablation/debugging knob like ``incremental_search``.
+    apply_dedup: bool = True
+
     #: Maintain the extraction :class:`~repro.egraph.extract.CostAnalysis`
     #: incrementally during saturation (registered on the e-graph by the
     #: runner), so post-saturation single-best extraction — including every
@@ -126,16 +134,18 @@ class SynthesisConfig:
     def semantic_dict(self) -> Dict[str, object]:
         """The fields that can change *what* is synthesized (cache identity).
 
-        ``incremental_search`` and ``incremental_extraction`` are excluded:
-        they only change how e-matching / best-cost bookkeeping is
-        scheduled, and the differential suites pin their results as
-        identical to the post-hoc computations — so all settings may share
-        cache entries.  Extraction knobs that *do* change the output
-        (``top_k``, ``cost_function``) stay in.
+        ``incremental_search``, ``incremental_extraction``, and
+        ``apply_dedup`` are excluded: they only change how e-matching /
+        best-cost bookkeeping / match re-application is scheduled, and the
+        differential suites pin their results as identical to the post-hoc
+        computations — so all settings may share cache entries.  Extraction
+        knobs that *do* change the output (``top_k``, ``cost_function``)
+        stay in.
         """
         out = self.to_dict()
         out.pop("incremental_search")
         out.pop("incremental_extraction")
+        out.pop("apply_dedup")
         return out
 
     def fingerprint(self) -> str:

@@ -218,6 +218,7 @@ def synthesize(
             incremental=config.incremental_search,
             compiled=compiled,
             analyses=analyses,
+            dedup=config.apply_dedup,
         )
         run_reports.append(runner.run(egraph))
 

@@ -141,6 +141,11 @@ def _reordering_rules() -> List[BaseRewrite]:
         )
     )
 
+    # The dynamic affine rules below are ``pure``: their appliers read only
+    # the numeric *values* of the bound literal classes, which sound merges
+    # never change — so once applied, a match can be skipped by the runner's
+    # apply-phase dedup ledger (see repro.egraph.rewrite.DynamicRewrite).
+
     # Scale over Translate: scale(s, translate(v, c)) = translate(s*v, scale(s, c)).
     def scale_translate(egraph: EGraph, _class_id: int, sub: Substitution) -> Optional[int]:
         values = _values(egraph, sub, ["sx", "sy", "sz", "tx", "ty", "tz"])
@@ -155,6 +160,7 @@ def _reordering_rules() -> List[BaseRewrite]:
             "reorder-scale-translate",
             "(Scale ?sx ?sy ?sz (Translate ?tx ?ty ?tz ?c))",
             scale_translate,
+            pure=True,
         )
     )
 
@@ -174,6 +180,7 @@ def _reordering_rules() -> List[BaseRewrite]:
             "reorder-translate-scale",
             "(Translate ?tx ?ty ?tz (Scale ?sx ?sy ?sz ?c))",
             translate_scale,
+            pure=True,
         )
     )
 
@@ -205,6 +212,7 @@ def _reordering_rules() -> List[BaseRewrite]:
                 f"reorder-rotate{axis}-translate",
                 f"(Rotate {angle_pattern} (Translate ?tx ?ty ?tz ?c))",
                 rotate_translate,
+                pure=True,
             )
         )
 
@@ -234,6 +242,7 @@ def _reordering_rules() -> List[BaseRewrite]:
                 f"reorder-translate-rotate{axis}",
                 f"(Translate ?tx ?ty ?tz (Rotate {angle_pattern} ?c))",
                 translate_rotate,
+                pure=True,
             )
         )
 
@@ -260,6 +269,7 @@ def _collapsing_rules() -> List[BaseRewrite]:
             "collapse-translate",
             "(Translate ?x2 ?y2 ?z2 (Translate ?x1 ?y1 ?z1 ?c))",
             collapse_translate,
+            pure=True,
         )
     )
 
@@ -275,6 +285,7 @@ def _collapsing_rules() -> List[BaseRewrite]:
             "collapse-scale",
             "(Scale ?x2 ?y2 ?z2 (Scale ?x1 ?y1 ?z1 ?c))",
             collapse_scale,
+            pure=True,
         )
     )
 
@@ -301,6 +312,7 @@ def _collapsing_rules() -> List[BaseRewrite]:
                 f"collapse-rotate-{axis}",
                 f"(Rotate {outer_pattern} (Rotate {inner_pattern} ?c))",
                 collapse_rotate,
+                pure=True,
             )
         )
 

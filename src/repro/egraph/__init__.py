@@ -4,7 +4,10 @@ The paper implements its own e-graph in OCaml (pre-dating the egg library
 that grew out of this line of work); this package is our Python equivalent.
 It provides:
 
-* :mod:`repro.egraph.unionfind` — a union-find over e-class ids;
+* :mod:`repro.egraph.unionfind` — a union-find over e-class ids (with a
+  union-version counter and an exposed parent array for inlined finds);
+* :mod:`repro.egraph.symbols` — the per-e-graph operator interner backing
+  the flat ``(op_id, *arg_ids)`` node representation;
 * :mod:`repro.egraph.egraph` — hash-consed e-nodes, e-classes, congruence
   closure with deferred rebuilding, and term insertion/extraction helpers;
 * :mod:`repro.egraph.pattern` — pattern terms with ``?x`` variables, the
@@ -22,6 +25,7 @@ It provides:
 """
 
 from repro.egraph.unionfind import UnionFind
+from repro.egraph.symbols import SymbolTable
 from repro.egraph.egraph import Analysis, EGraph, ENode, EClass
 from repro.egraph.pattern import (
     CompiledRuleSet,
@@ -53,6 +57,7 @@ from repro.egraph.extract import (
 
 __all__ = [
     "UnionFind",
+    "SymbolTable",
     "Analysis",
     "EGraph",
     "ENode",

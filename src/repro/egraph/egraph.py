@@ -15,6 +15,20 @@ Rebuilding is deferred (egg-style): merges enqueue dirty classes and a
 single :meth:`EGraph.rebuild` pass repairs the invariants before the next
 round of matching.
 
+**Flat node representation.**  Internally an e-node is a plain tuple
+``(op_id, *arg_ids)`` of integers: the operator is interned into a dense id
+by the e-graph's :class:`~repro.egraph.symbols.SymbolTable` and the
+arguments are e-class ids.  Hashcons keys, class node lists, and parent
+logs all store these flat tuples, so the hot loops (hashcons probes,
+congruence repair, compiled e-matching) hash and compare nothing but small
+integer tuples — and canonicalization (:meth:`EGraph.canonical_flat`)
+returns its input *unchanged* when every argument is already canonical,
+making the common post-rebuild case allocation-free.  The public surface
+still speaks :class:`ENode`: :meth:`EGraph.add_enode` encodes at the
+boundary and :meth:`EGraph.nodes` decodes (with a per-class cache), so code
+outside the ``egraph`` package never sees a flat tuple.  Package-internal
+consumers use :meth:`EGraph.flat_nodes` / :attr:`EClass.flat` directly.
+
 **Dirty-class tracking (the search-epoch protocol).**  Besides the rebuild
 worklist the e-graph records, in :attr:`EGraph._dirty`, every e-class whose
 *match set* may have changed since the last search epoch: classes created by
@@ -54,27 +68,40 @@ worklist.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
+from repro.egraph.symbols import Operator, SymbolTable
 from repro.egraph.unionfind import UnionFind
 from repro.lang.term import Term
 
-Operator = Union[str, int, float]
+#: Internal e-node representation: ``(op_id, *arg_ids)``.
+FlatNode = Tuple[int, ...]
 
 
 @dataclass(frozen=True)
 class ENode:
-    """An operator applied to argument e-class ids."""
+    """An operator applied to argument e-class ids (the public facade).
+
+    The e-graph stores nodes as flat integer tuples internally (see the
+    module docstring); ``ENode`` is what crosses the package boundary —
+    rule appliers build them, :meth:`EGraph.nodes` returns them, analyses
+    receive them in :meth:`Analysis.make`.
+    """
 
     op: Operator
     args: Tuple[int, ...] = ()
 
     def canonicalize(self, find) -> "ENode":
-        """Return this e-node with every argument id canonicalized."""
-        if not self.args:
-            return self
-        return ENode(self.op, tuple(find(a) for a in self.args))
+        """Return this e-node with every argument id canonicalized.
+
+        Allocation-free when nothing changes: if every argument is already
+        canonical, ``self`` is returned unchanged.
+        """
+        for arg in self.args:
+            if find(arg) != arg:
+                return ENode(self.op, tuple(find(a) for a in self.args))
+        return self
 
     def map_args(self, fn) -> "ENode":
         return ENode(self.op, tuple(fn(a) for a in self.args))
@@ -123,23 +150,57 @@ class Analysis:
         """
 
 
-@dataclass
 class EClass:
-    """A set of equivalent e-nodes plus back-pointers to parent e-nodes."""
+    """A set of equivalent e-nodes plus back-pointers to parent e-nodes.
 
-    id: int
-    nodes: List[ENode] = field(default_factory=list)
-    #: (parent e-node as inserted, parent e-class id) pairs used by rebuild.
-    parents: List[Tuple[ENode, int]] = field(default_factory=list)
-    #: Arbitrary per-class analysis data (used by the determinizer and cost
-    #: analyses in :mod:`repro.core`).
-    data: dict = field(default_factory=dict)
+    Node storage is flat (:attr:`flat`, see the module docstring); the
+    :attr:`nodes` property decodes to :class:`ENode` facades on demand and
+    caches the decoded list until the flat list next changes.  All
+    mutations go through :meth:`append_flat` / :meth:`extend_flat` /
+    :meth:`replace_flat` so the cache can never go stale.
+    """
+
+    __slots__ = ("id", "flat", "parents", "data", "_symbols", "_decoded")
+
+    def __init__(self, id: int, symbols: SymbolTable):
+        self.id = id
+        #: Flat e-nodes ``(op_id, *arg_ids)`` of this class.
+        self.flat: List[FlatNode] = []
+        #: (flat parent e-node as inserted, parent e-class id) pairs used by
+        #: rebuild; read the decoded view via :meth:`EGraph.parent_enodes`.
+        self.parents: List[Tuple[FlatNode, int]] = []
+        #: Arbitrary per-class analysis data (used by the determinizer and
+        #: cost analyses in :mod:`repro.core`).
+        self.data: dict = {}
+        self._symbols = symbols
+        self._decoded: Optional[List[ENode]] = None
+
+    @property
+    def nodes(self) -> List[ENode]:
+        """The e-nodes of this class, decoded (cached until the class changes)."""
+        decoded = self._decoded
+        if decoded is None:
+            op = self._symbols.op
+            decoded = self._decoded = [ENode(op(node[0]), node[1:]) for node in self.flat]
+        return decoded
+
+    def append_flat(self, node: FlatNode) -> None:
+        self.flat.append(node)
+        self._decoded = None
+
+    def extend_flat(self, nodes: Iterable[FlatNode]) -> None:
+        self.flat.extend(nodes)
+        self._decoded = None
+
+    def replace_flat(self, nodes: List[FlatNode]) -> None:
+        self.flat = nodes
+        self._decoded = None
 
     def __iter__(self) -> Iterator[ENode]:
         return iter(self.nodes)
 
     def __len__(self) -> int:
-        return len(self.nodes)
+        return len(self.flat)
 
 
 class EGraph:
@@ -147,25 +208,34 @@ class EGraph:
 
     def __init__(self) -> None:
         self._union_find = UnionFind()
+        self._symbols = SymbolTable()
         self._classes: Dict[int, EClass] = {}
-        self._hashcons: Dict[ENode, int] = {}
+        self._hashcons: Dict[FlatNode, int] = {}
         self._pending: List[int] = []
-        #: operator -> set of e-class ids containing an e-node with that
+        #: operator id -> set of e-class ids containing an e-node with that
         #: operator.  Used by e-matching to avoid scanning the whole graph;
         #: entries may be stale (non-canonical or over-approximate) and are
         #: re-canonicalized by readers.
-        self._op_index: Dict[Operator, set] = {}
+        self._op_index: Dict[int, set] = {}
         #: e-class ids (possibly stale) touched since the last `take_dirty`;
         #: see the module docstring for the search-epoch protocol.
         self._dirty: Set[int] = set()
         #: Registered e-class analyses (see the module docstring).
         self._analyses: List[Analysis] = []
-        #: (parent e-node, owner id) pairs whose analysis data must be
+        #: (flat parent e-node, owner id) pairs whose analysis data must be
         #: re-made because a child's data changed; drained by rebuild().
-        self._analysis_pending: List[Tuple[ENode, int]] = []
+        self._analysis_pending: List[Tuple[FlatNode, int]] = []
         #: Total analysis-data changes (creations + improvements) — runners
         #: snapshot this to report per-iteration analysis activity.
         self.analysis_updates = 0
+        #: Exact ``sum(len(c.flat) for c in classes)``, maintained
+        #: incrementally (add_enode grows it, rebuild-time dedup shrinks it)
+        #: so :attr:`total_enodes` is O(1) instead of a full recount.
+        self._enode_count = 0
+        #: Monotone count of fresh hashcons inserts ever performed — an
+        #: allocation counter runners snapshot per iteration (unlike
+        #: ``_enode_count`` it never decreases).
+        self.enodes_created = 0
         self.version = 0  # bumped on every structural change; used by runners
 
     # -- basic queries -----------------------------------------------------------
@@ -175,21 +245,36 @@ class EGraph:
         return len(self._classes)
 
     @property
+    def symbols(self) -> SymbolTable:
+        """The operator interner (package-internal consumers; see module docs)."""
+        return self._symbols
+
+    @property
     def total_enodes(self) -> int:
-        """Total number of e-nodes across all e-classes."""
-        return sum(len(c.nodes) for c in self._classes.values())
+        """Total number of e-nodes across all e-classes (O(1), exact)."""
+        return self._enode_count
 
     @property
     def approx_enodes(self) -> int:
-        """An O(1) estimate of the e-node count (the hashcons size).
+        """O(1) e-node count for node-limit enforcement inside apply loops.
 
-        Exact immediately after :meth:`rebuild`; between rebuilds it may
-        include entries for nodes that congruence will later dedupe, which
-        makes it a safe (slightly conservative) bound for enforcing node
-        limits *inside* an apply loop, where calling :attr:`total_enodes`
-        per application would be quadratic.
+        Now backed by the same exact incremental counter as
+        :attr:`total_enodes`: precise immediately after :meth:`rebuild`, and
+        between rebuilds it counts entries that congruence will later
+        dedupe, which keeps it a safe (slightly conservative) bound.
         """
-        return len(self._hashcons)
+        return self._enode_count
+
+    @property
+    def union_version(self) -> int:
+        """Count of effective unions; canonical ids are stable while it is.
+
+        Any canonicalized value (e.g. an apply-phase match fingerprint)
+        computed at union version ``v`` remains canonical as long as
+        ``union_version == v`` — merges are the only operation that can
+        change an id's representative.
+        """
+        return self._union_find.version
 
     def find(self, id_: int) -> int:
         """Canonical e-class id for ``id_``."""
@@ -201,11 +286,19 @@ class EGraph:
 
     def eclass(self, id_: int) -> EClass:
         """The canonical :class:`EClass` containing ``id_``."""
-        return self._classes[self.find(id_)]
+        return self._classes[self._union_find.find(id_)]
 
     def nodes(self, id_: int) -> List[ENode]:
-        """The e-nodes of the e-class containing ``id_``."""
+        """The e-nodes of the e-class containing ``id_`` (decoded facades)."""
         return self.eclass(id_).nodes
+
+    def flat_nodes(self, id_: int) -> List[FlatNode]:
+        """The flat e-nodes of the e-class containing ``id_``.
+
+        Package-internal fast path (compiled e-matching, extraction): the
+        returned list is the live storage — callers must not mutate it.
+        """
+        return self._classes[self._union_find.find(id_)].flat
 
     def is_equal(self, a: int, b: int) -> bool:
         """True when the two ids refer to the same e-class."""
@@ -219,16 +312,42 @@ class EGraph:
         the common case (e-matching a specific operator) far cheaper than a
         full scan.
         """
-        ids = self._op_index.get(op)
+        op_id = self._symbols.get(op)
+        if op_id is None:
+            return []
+        ids = self._op_index.get(op_id)
         if not ids:
             return []
-        live = {self.find(i) for i in ids}
+        find = self._union_find.find
+        live = {find(i) for i in ids}
         live.intersection_update(self._classes)
         if live != ids:
             # Prune in place so repeated queries between rebuilds do not keep
             # re-canonicalizing the same stale ids.
-            self._op_index[op] = live
+            self._op_index[op_id] = live
         return list(live)
+
+    # -- flat encoding helpers ---------------------------------------------------
+
+    def canonical_flat(self, node: FlatNode) -> FlatNode:
+        """``node`` with canonical argument ids; ``node`` itself if unchanged.
+
+        The allocation-free fast path of the rebuild/search loops: after a
+        rebuild almost every stored node already has canonical arguments, so
+        the loop below usually runs to completion without allocating.
+        """
+        parents = self._union_find.parents
+        for i in range(1, len(node)):
+            if parents[node[i]] != node[i]:
+                break
+        else:
+            return node
+        find = self._union_find.find
+        return (node[0],) + tuple(find(a) for a in node[1:])
+
+    def _decode(self, node: FlatNode) -> ENode:
+        """A facade :class:`ENode` for a flat node."""
+        return ENode(self._symbols.op(node[0]), node[1:])
 
     # -- e-class analyses ---------------------------------------------------------
 
@@ -261,8 +380,8 @@ class EGraph:
         # on every change, including the first).
         if self._classes:
             for eclass in self._classes.values():
-                for enode in eclass.nodes:
-                    self._analysis_pending.append((enode, eclass.id))
+                for node in eclass.flat:
+                    self._analysis_pending.append((node, eclass.id))
             self._process_analysis_pending()
         return analysis
 
@@ -288,18 +407,19 @@ class EGraph:
         while self._analysis_pending:
             batch = self._analysis_pending
             self._analysis_pending = []
-            seen: Set[Tuple[ENode, int]] = set()
+            seen: Set[Tuple[FlatNode, int]] = set()
             for node, owner in batch:
                 owner = find(owner)
                 if owner not in self._classes:
                     continue
-                node = node.canonicalize(find)
+                node = self.canonical_flat(node)
                 entry = (node, owner)
                 if entry in seen:
                     continue
                 seen.add(entry)
+                facade = self._decode(node)
                 for analysis in self._analyses:
-                    made = analysis.make(self, node)
+                    made = analysis.make(self, facade)
                     if made is not None:
                         self._set_analysis_data(analysis, owner, made)
 
@@ -307,22 +427,28 @@ class EGraph:
 
     def add_enode(self, enode: ENode) -> int:
         """Insert an e-node (hash-consed) and return its e-class id."""
-        enode = enode.canonicalize(self._union_find.find)
-        existing = self._hashcons.get(enode)
+        find = self._union_find.find
+        flat = (self._symbols.intern(enode.op),) + tuple(find(a) for a in enode.args)
+        existing = self._hashcons.get(flat)
         if existing is not None:
-            return self.find(existing)
+            return find(existing)
         class_id = self._union_find.make_set()
-        eclass = EClass(id=class_id, nodes=[enode])
+        eclass = EClass(class_id, self._symbols)
+        eclass.append_flat(flat)
         self._classes[class_id] = eclass
-        self._hashcons[enode] = class_id
-        self._op_index.setdefault(enode.op, set()).add(class_id)
+        self._hashcons[flat] = class_id
+        self._op_index.setdefault(flat[0], set()).add(class_id)
         self._dirty.add(class_id)
-        for arg in enode.args:
-            self._classes[self.find(arg)].parents.append((enode, class_id))
-        for analysis in self._analyses:
-            made = analysis.make(self, enode)
-            if made is not None:
-                self._set_analysis_data(analysis, class_id, made)
+        self._enode_count += 1
+        self.enodes_created += 1
+        for arg in flat[1:]:
+            self._classes[arg].parents.append((flat, class_id))
+        if self._analyses:
+            facade = self._decode(flat)
+            for analysis in self._analyses:
+                made = analysis.make(self, facade)
+                if made is not None:
+                    self._set_analysis_data(analysis, class_id, made)
         self.version += 1
         return class_id
 
@@ -337,15 +463,19 @@ class EGraph:
 
     def lookup_term(self, term: Term) -> Optional[int]:
         """The e-class id of ``term`` if the e-graph already represents it."""
+        op_id = self._symbols.get(term.op)
+        if op_id is None:
+            return None
+        find = self._union_find.find
         args: List[int] = []
         for child in term.children:
             child_id = self.lookup_term(child)
             if child_id is None:
                 return None
             args.append(child_id)
-        enode = ENode(term.op, tuple(args)).canonicalize(self._union_find.find)
-        found = self._hashcons.get(enode)
-        return None if found is None else self.find(found)
+        flat = (op_id,) + tuple(find(a) for a in args)
+        found = self._hashcons.get(flat)
+        return None if found is None else find(found)
 
     # -- merging and rebuilding -----------------------------------------------------
 
@@ -386,7 +516,7 @@ class EGraph:
                 merged_data.pop(analysis.key, None)
             else:
                 merged_data[analysis.key] = pre
-        keep_class.nodes.extend(gone_class.nodes)
+        keep_class.extend_flat(gone_class.flat)
         keep_class.parents.extend(gone_class.parents)
         keep_class.data = merged_data
         for analysis in self._analyses:
@@ -429,57 +559,63 @@ class EGraph:
     def _repair(self, class_id: int) -> None:
         """Re-canonicalize the parents of a recently merged class and detect
         newly congruent parents."""
-        class_id = self.find(class_id)
+        find = self._union_find.find
+        class_id = find(class_id)
         eclass = self._classes.get(class_id)
         if eclass is None:
             return
-        seen: Dict[ENode, int] = {}
+        canonical_flat = self.canonical_flat
+        hashcons = self._hashcons
+        seen: Dict[FlatNode, int] = {}
         for parent_node, parent_id in eclass.parents:
-            canonical_node = parent_node.canonicalize(self._union_find.find)
-            parent_id = self.find(parent_id)
+            canonical_node = canonical_flat(parent_node)
+            parent_id = find(parent_id)
             previous = seen.get(canonical_node)
             if previous is not None and previous != parent_id:
                 # Two parents became congruent: merge their classes.
                 merged = self.merge(previous, parent_id)
-                seen[canonical_node] = self.find(merged)
+                seen[canonical_node] = find(merged)
             else:
                 seen[canonical_node] = parent_id
-            self._hashcons[canonical_node] = self.find(seen[canonical_node])
+            hashcons[canonical_node] = find(seen[canonical_node])
         # Deduplicated rewrite of the log: repeated merges into a hub class
         # would otherwise grow its parents list with one entry per historical
         # merge, which the worklist extractors then re-canonicalize per pop.
-        new_parents: List[Tuple[ENode, int]] = [
-            (node, self.find(owner)) for node, owner in seen.items()
+        new_parents: List[Tuple[FlatNode, int]] = [
+            (node, find(owner)) for node, owner in seen.items()
         ]
         # Replace the log only while this class is still canonical.  If a
         # congruence merge above folded it into another class, that class's
         # parents log already absorbed ours via merge(); overwriting it with
         # just our snapshot would drop the absorber's own parents (the raw
         # combined log is merely stale, which readers canonicalize away).
-        if self.find(class_id) == class_id:
+        if find(class_id) == class_id:
             eclass.parents = new_parents
 
     def _rebuild_hashcons(self) -> None:
         """Fully re-canonicalize e-nodes, the hashcons, and class node lists."""
-        new_hashcons: Dict[ENode, int] = {}
-        new_op_index: Dict[Operator, set] = {}
+        find = self._union_find.find
+        canonical_flat = self.canonical_flat
+        new_hashcons: Dict[FlatNode, int] = {}
+        new_op_index: Dict[int, set] = {}
         for class_id in list(self._classes.keys()):
-            canonical_id = self.find(class_id)
+            canonical_id = find(class_id)
             if canonical_id != class_id:
                 continue
             eclass = self._classes[class_id]
-            unique_nodes: Dict[ENode, None] = {}
-            for node in eclass.nodes:
-                canonical_node = node.canonicalize(self._union_find.find)
+            unique_nodes: Dict[FlatNode, None] = {}
+            for node in eclass.flat:
+                canonical_node = canonical_flat(node)
                 unique_nodes[canonical_node] = None
                 existing = new_hashcons.get(canonical_node)
-                if existing is not None and self.find(existing) != canonical_id:
+                if existing is not None and find(existing) != canonical_id:
                     # Congruent nodes in distinct classes: merge and note that
                     # another pass is required.
                     self._pending.append(self.merge(existing, canonical_id))
-                new_hashcons[canonical_node] = self.find(canonical_id)
-                new_op_index.setdefault(canonical_node.op, set()).add(canonical_id)
-            eclass.nodes = list(unique_nodes.keys())
+                new_hashcons[canonical_node] = find(canonical_id)
+                new_op_index.setdefault(canonical_node[0], set()).add(canonical_id)
+            self._enode_count -= len(eclass.flat) - len(unique_nodes)
+            eclass.replace_flat(list(unique_nodes.keys()))
         self._hashcons = new_hashcons
         self._op_index = new_op_index
         if self._pending:
@@ -542,7 +678,8 @@ class EGraph:
           finds are normal and not a defect);
         * every parent-log entry resolves to a live class;
         * the dirty set is sound: every recorded id still resolves to a live
-          class (or was merged into one).
+          class (or was merged into one);
+        * the incremental e-node counter agrees with a full recount.
 
         When no merges are pending (i.e. immediately after :meth:`rebuild`)
         the deferred invariants must hold too:
@@ -567,11 +704,19 @@ class EGraph:
             f"class table / union-find roots diverge: "
             f"classes-only {class_ids - roots}, roots-only {roots - class_ids}"
         )
+        recount = sum(len(c.flat) for c in self._classes.values())
+        assert recount == self._enode_count, (
+            f"incremental e-node count {self._enode_count} diverges from "
+            f"recount {recount}"
+        )
         for class_id, eclass in self._classes.items():
             assert eclass.id == class_id, f"class {class_id} mislabelled as {eclass.id}"
-            assert eclass.nodes, f"class {class_id} has no e-nodes"
-            for node in eclass.nodes:
-                for arg in node.args:
+            assert eclass.flat, f"class {class_id} has no e-nodes"
+            for node in eclass.flat:
+                assert 0 <= node[0] < len(self._symbols), (
+                    f"node {node} in class {class_id} has an uninterned operator id"
+                )
+                for arg in node[1:]:
                     assert find(arg) in self._classes, (
                         f"node {node} in class {class_id} has dangling child {arg}"
                     )
@@ -585,11 +730,11 @@ class EGraph:
                 f"dirty id {id_} resolves to no live class"
             )
         if not self._pending:
-            node_owner: Dict[ENode, int] = {}
-            canonical_nodes: Set[ENode] = set()
+            node_owner: Dict[FlatNode, int] = {}
+            canonical_nodes: Set[FlatNode] = set()
             for class_id, eclass in self._classes.items():
-                for node in eclass.nodes:
-                    canonical = node.canonicalize(find)
+                for node in eclass.flat:
+                    canonical = self.canonical_flat(node)
                     assert canonical == node, (
                         f"class {class_id} stores non-canonical node {node}"
                     )
@@ -610,8 +755,8 @@ class EGraph:
             for analysis in self._analyses:
                 for class_id, eclass in self._classes.items():
                     stored = eclass.data.get(analysis.key)
-                    for node in eclass.nodes:
-                        made = analysis.make(self, node.canonicalize(find))
+                    for node in eclass.flat:
+                        made = analysis.make(self, self._decode(self.canonical_flat(node)))
                         if made is None:
                             continue
                         assert stored is not None, (
@@ -638,11 +783,11 @@ class EGraph:
         uses to propagate cost improvements upward.
         """
         find = self._union_find.find
-        seen: Dict[Tuple[ENode, int], None] = {}
+        seen: Dict[Tuple[FlatNode, int], None] = {}
         for parent_node, parent_id in self.eclass(class_id).parents:
-            key = (parent_node.canonicalize(find), find(parent_id))
+            key = (self.canonical_flat(parent_node), find(parent_id))
             seen[key] = None
-        return list(seen.keys())
+        return [(self._decode(node), owner) for node, owner in seen.keys()]
 
     # -- conversions -------------------------------------------------------------
 

@@ -185,11 +185,15 @@ class Extractor:
                     worklist.append(class_id)
 
         # Seed: every leaf e-node gives its class a first (finite) cost.
+        # (Leaves are found on the flat representation — one int-length
+        # check per node — and decoded only when they actually seed.)
+        decode_op = self.egraph.symbols.op
         for eclass in self.egraph.classes():
             class_id = find(eclass.id)
-            for enode in eclass.nodes:
-                if not enode.args:
-                    update(class_id, self.cost_function(enode.op, ()), enode)
+            for node in eclass.flat:
+                if len(node) == 1:
+                    op = decode_op(node[0])
+                    update(class_id, self.cost_function(op, ()), ENode(op))
 
         # Propagate improvements to parents until no class changes.  On a
         # discount cycle the improvements form a geometric series that
@@ -405,7 +409,7 @@ class _KBestEngine:
         if children is None:
             find = self.egraph.find
             children = self._children[class_id] = list(
-                {find(arg) for enode in self.egraph.nodes(class_id) for arg in enode.args}
+                {find(arg) for node in self.egraph.flat_nodes(class_id) for arg in node[1:]}
             )
         return children
 

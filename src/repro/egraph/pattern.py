@@ -298,13 +298,40 @@ def pattern_depth(pattern: Pattern) -> int:
     return 1 + max((pattern_depth(c) for c in pattern.children), default=0)
 
 
+class _SearchContext:
+    """Per-search state threaded through trie execution (one per search call).
+
+    ``resolved`` maps the rule set's operator slots to this e-graph's
+    interned op ids (``None`` for operators the graph has never seen) — one
+    list build per search, then every Descend/Check step is a list index.
+    """
+
+    __slots__ = ("flat_nodes", "resolved", "parents", "enabled", "out", "match_type")
+
+    def __init__(self, egraph, slot_ops, enabled, out, match_type) -> None:
+        self.flat_nodes = egraph.flat_nodes
+        get = egraph.symbols.get
+        self.resolved: List[Optional[int]] = [get(op) for op in slot_ops]
+        self.parents = egraph._union_find.parents
+        self.enabled = enabled
+        self.out = out
+        self.match_type = match_type
+
+
 class _TrieNode:
     """One node of the shared-program trie; edges are labelled by instructions."""
 
-    __slots__ = ("children", "yields", "rules")
+    __slots__ = ("children", "edges", "yields", "rules")
 
     def __init__(self) -> None:
         self.children: Dict[Instruction, "_TrieNode"] = {}
+        #: The same edges as ``children``, flattened for execution:
+        #: ``(instruction, child, op_slot)`` where ``op_slot`` indexes the
+        #: rule set's distinct-operator table (-1 for Compare edges).  The
+        #: per-search resolution array turns a slot into the e-graph's
+        #: interned op id with one list index — no string hashing inside
+        #: the trie walk.
+        self.edges: List[Tuple[Instruction, "_TrieNode", int]] = []
         self.yields: List[_Yield] = []
         #: Indices of every rule with a program passing through this node —
         #: used to prune whole subtrees when the caller restricts the search
@@ -347,7 +374,10 @@ class CompiledRuleSet:
             raise ValueError("rule names must be unique to compile a rule set")
         self._root = _TrieNode()
         #: Root trie edges grouped by the pattern's top symbol.
-        self._root_edges_by_op: Dict[Operator, List[Tuple[Instruction, _TrieNode]]] = {}
+        self._root_edges_by_op: Dict[Operator, List[Tuple[Instruction, _TrieNode, int]]] = {}
+        #: Distinct instruction operators, slot-indexed (see _TrieNode.edges).
+        self._slot_ops: List[Operator] = []
+        self._op_slots: Dict[Operator, int] = {}
         #: True when some pattern is a bare variable (matches every class).
         self._has_var_roots = False
         programs = 0
@@ -383,6 +413,16 @@ class CompiledRuleSet:
 
     # -- construction helpers ---------------------------------------------------
 
+    def _op_slot(self, instruction: Instruction) -> int:
+        """The resolution-table slot for an instruction (-1 for Compare)."""
+        if isinstance(instruction, Compare):
+            return -1
+        slot = self._op_slots.get(instruction.op)
+        if slot is None:
+            slot = self._op_slots[instruction.op] = len(self._slot_ops)
+            self._slot_ops.append(instruction.op)
+        return slot
+
     def _insert(self, instructions: Tuple[Instruction, ...], entry: _Yield) -> None:
         node = self._root
         node.rules.add(entry[0])
@@ -390,10 +430,10 @@ class CompiledRuleSet:
             child = node.children.get(instruction)
             if child is None:
                 child = node.children[instruction] = _TrieNode()
+                edge = (instruction, child, self._op_slot(instruction))
+                node.edges.append(edge)
                 if position == 0:
-                    self._root_edges_by_op.setdefault(instruction.op, []).append(
-                        (instruction, child)
-                    )
+                    self._root_edges_by_op.setdefault(instruction.op, []).append(edge)
             child.rules.add(entry[0])
             node = child
         if node is self._root:
@@ -419,6 +459,12 @@ class CompiledRuleSet:
         passes through.  Returns ``{rule name: [RewriteMatch, ...]}`` with
         matches ordered by canonical class id; every rule searched gets an
         entry, even when empty.
+
+        The trie executes over the e-graph's *flat* node representation:
+        instruction operators are resolved to the graph's interned ids once
+        per search, the node loops compare integers, and argument ids are
+        canonicalized with an inlined path-compressed find (see
+        :mod:`repro.egraph.symbols` and the e-graph module docstring).
         """
         from repro.egraph.rewrite import RewriteMatch  # local: avoids an import cycle
 
@@ -439,20 +485,30 @@ class CompiledRuleSet:
             i: [] for i in range(len(self.rules))
             if enabled_indices is None or i in enabled_indices
         }
+        ctx = _SearchContext(egraph, self._slot_ops, enabled_indices, out, RewriteMatch)
+        symbols = egraph.symbols
+        # Root trie edges re-keyed by this graph's interned op ids; an
+        # operator the graph has never interned cannot match anywhere.
+        root_edges: Dict[int, List] = {}
+        for op, edges in self._root_edges_by_op.items():
+            op_id = symbols.get(op)
+            if op_id is not None:
+                root_edges[op_id] = edges
         for class_id in sorted(candidates):
-            self._match_class(egraph, class_id, enabled_indices, out, RewriteMatch)
+            self._match_class(ctx, class_id, root_edges)
         return {self.rule_names[index]: matches for index, matches in out.items()}
 
-    def _match_class(self, egraph, class_id, enabled, out, match_type) -> None:
+    def _match_class(self, ctx, class_id, root_edges) -> None:
+        enabled = ctx.enabled
         for entry in self._root.yields:  # bare-variable patterns match any class
             if enabled is None or entry[0] in enabled:
-                self._emit(entry, [class_id], class_id, out, match_type)
-        nodes = egraph.nodes(class_id)
-        ops = {node.op for node in nodes}
+                self._emit(entry, [class_id], class_id, ctx.out, ctx.match_type)
         regs = [class_id]
-        for op in ops:
-            for instruction, child in self._root_edges_by_op.get(op, ()):
-                self._step(instruction, child, egraph, regs, class_id, enabled, out, match_type)
+        for op_id in {node[0] for node in ctx.flat_nodes(class_id)}:
+            edges = root_edges.get(op_id)
+            if edges is not None:
+                for instruction, child, slot in edges:
+                    self._step(ctx, instruction, child, slot, regs, class_id)
 
     def _emit(self, entry, regs, class_id, out, match_type) -> None:
         index, reverse, varmap = entry
@@ -460,38 +516,49 @@ class CompiledRuleSet:
             match_type(class_id, {name: regs[reg] for name, reg in varmap}, reverse)
         )
 
-    def _execute(self, node, egraph, regs, class_id, enabled, out, match_type) -> None:
+    def _execute(self, ctx, node, regs, class_id) -> None:
+        enabled = ctx.enabled
         for entry in node.yields:
             if enabled is None or entry[0] in enabled:
-                self._emit(entry, regs, class_id, out, match_type)
-        for instruction, child in node.children.items():
-            self._step(instruction, child, egraph, regs, class_id, enabled, out, match_type)
+                self._emit(entry, regs, class_id, ctx.out, ctx.match_type)
+        for instruction, child, slot in node.edges:
+            self._step(ctx, instruction, child, slot, regs, class_id)
 
-    def _step(self, instruction, child, egraph, regs, class_id, enabled, out, match_type) -> None:
-        if enabled is not None and not (child.rules & enabled):
+    def _step(self, ctx, instruction, child, slot, regs, class_id) -> None:
+        if ctx.enabled is not None and not (child.rules & ctx.enabled):
             return
         kind = type(instruction)
         if kind is Descend:
-            find = egraph.find
-            for enode in egraph.nodes(regs[instruction.reg]):
-                if enode.op == instruction.op and len(enode.args) == instruction.arity:
-                    self._execute(
-                        child,
-                        egraph,
-                        regs + [find(arg) for arg in enode.args],
-                        class_id,
-                        enabled,
-                        out,
-                        match_type,
-                    )
+            op_id = ctx.resolved[slot]
+            if op_id is None:
+                return
+            width = instruction.arity + 1
+            parents = ctx.parents
+            for node in ctx.flat_nodes(regs[instruction.reg]):
+                if node[0] == op_id and len(node) == width:
+                    # Bind argument classes, canonicalized with an inlined
+                    # path-compressed find (this is the matcher's innermost
+                    # loop; a find() call per argument dominated its profile).
+                    new_regs = list(regs)
+                    for arg in node[1:]:
+                        root = arg
+                        while parents[root] != root:
+                            root = parents[root]
+                        while parents[arg] != root:
+                            parents[arg], arg = root, parents[arg]
+                        new_regs.append(root)
+                    self._execute(ctx, child, new_regs, class_id)
         elif kind is Check:
-            for enode in egraph.nodes(regs[instruction.reg]):
-                if not enode.args and enode.op == instruction.op:
-                    self._execute(child, egraph, regs, class_id, enabled, out, match_type)
+            op_id = ctx.resolved[slot]
+            if op_id is None:
+                return
+            for node in ctx.flat_nodes(regs[instruction.reg]):
+                if len(node) == 1 and node[0] == op_id:
+                    self._execute(ctx, child, regs, class_id)
                     break
         else:  # Compare
             if regs[instruction.reg] == regs[instruction.prev]:
-                self._execute(child, egraph, regs, class_id, enabled, out, match_type)
+                self._execute(ctx, child, regs, class_id)
 
 
 @dataclass

@@ -29,6 +29,9 @@ from typing import Callable, List, Optional, Tuple
 from repro.egraph.egraph import EGraph
 from repro.egraph.pattern import Pattern, Substitution, instantiate, parse_pattern, search
 
+#: A fingerprint: (canonical class id, reverse?, ((var, canonical id), ...)).
+Fingerprint = Tuple[int, bool, Tuple[Tuple[str, int], ...]]
+
 #: A guard receives (egraph, eclass id, substitution) and says whether to fire.
 Guard = Callable[[EGraph, int, Substitution], bool]
 
@@ -37,7 +40,7 @@ Guard = Callable[[EGraph, int, Substitution], bool]
 Applier = Callable[[EGraph, int, Substitution], Optional[int]]
 
 
-@dataclass
+@dataclass(slots=True)
 class RewriteMatch:
     """One firing opportunity discovered during the search phase.
 
@@ -45,11 +48,72 @@ class RewriteMatch:
     bidirectional rule; applying such a match must instantiate the left-hand
     side (instantiating the rhs again would merge the matched class with
     itself, a silent no-op — the bug this flag fixes).
+
+    :meth:`fingerprint` projects the match onto canonical ids — the key of
+    the runner's applied-match ledger.  Two matches with equal fingerprints
+    denote the same rewrite opportunity on the current graph, so a
+    syntactic rule that already fired one of them can skip the other
+    without instantiating anything.  The fingerprint is cached on the match
+    object, stamped with the e-graph's :attr:`~repro.egraph.egraph.EGraph.union_version`:
+    canonical ids can only change when a union happens, so while the stamp
+    matches the cache is exact and a re-encounter of the match (the
+    incremental matcher serves the *same* objects from its cache every
+    epoch) costs one integer compare instead of a find per bound id.
     """
 
     class_id: int
     substitution: Substitution
     reverse: bool = False
+    #: Fingerprint cache (see above); not part of the match's identity.
+    _fingerprint: Optional[Fingerprint] = field(
+        default=None, repr=False, compare=False
+    )
+    _fingerprint_stamp: int = field(default=-1, repr=False, compare=False)
+    #: Union version at which this match was last confirmed present in its
+    #: rule's applied ledger.  While no union has happened since, the match
+    #: is skippable on a single integer compare — no fingerprint, no set
+    #: probe.  Maintained by the runner's apply phase.
+    skip_stamp: int = field(default=-1, repr=False, compare=False)
+
+    def fingerprint(self, egraph: EGraph) -> Fingerprint:
+        """This match projected onto canonical ids (cached per union epoch).
+
+        Binding order follows the substitution's (deterministic) insertion
+        order rather than a per-call sort: within one runner run every
+        match of a rule is built by the same code path — the compiled
+        matcher's variable map or the naive matcher's traversal — so equal
+        opportunities always serialize their bindings identically, and the
+        ledger never mixes matchers.
+
+        Revalidation is allocation-free: a cached fingerprint is exact as
+        long as every id it binds is still its own union-find root (unions
+        only ever re-parent roots, so an id that canonicalized to ``r``
+        keeps canonicalizing to ``r`` while ``r`` stays a root).  Merges in
+        unrelated parts of the graph therefore do not force a recompute.
+        """
+        uf = egraph._union_find
+        fp = self._fingerprint
+        if fp is not None:
+            stamp = uf.version
+            if self._fingerprint_stamp == stamp:
+                return fp
+            parents = uf.parents
+            if parents[fp[0]] == fp[0]:
+                for _name, bound in fp[2]:
+                    if parents[bound] != bound:
+                        break
+                else:
+                    self._fingerprint_stamp = stamp
+                    return fp
+        find = uf.find
+        fp = (
+            find(self.class_id),
+            self.reverse,
+            tuple((name, find(cid)) for name, cid in self.substitution.items()),
+        )
+        self._fingerprint = fp
+        self._fingerprint_stamp = uf.version
+        return fp
 
 
 class BaseRewrite:
@@ -57,11 +121,32 @@ class BaseRewrite:
 
     name: str
 
+    #: True when applying a match is a pure function of its *canonical
+    #: fingerprint* — re-applying an identical fingerprint can never add
+    #: information the first application did not.  The runner's apply-phase
+    #: dedup ledger only ever skips matches of deduplicable rules.
+    #: Syntactic rewrites qualify (``instantiate`` reads nothing but the
+    #: substitution's ids); dynamic rewrites whose applier inspects class
+    #: *contents* do not, because a class can gain e-nodes without its id
+    #: changing.  Conservative default: off.
+    deduplicable = False
+
     def search(self, egraph: EGraph) -> List[RewriteMatch]:
         raise NotImplementedError
 
     def apply_match(self, egraph: EGraph, match: RewriteMatch) -> bool:
         """Apply to one match; returns True when the e-graph changed."""
+        return self.apply_match_checked(egraph, match)[0]
+
+    def apply_match_checked(self, egraph: EGraph, match: RewriteMatch) -> Tuple[bool, bool]:
+        """Apply to one match; returns ``(changed, executed)``.
+
+        ``changed`` is :meth:`apply_match`'s value (the e-graph changed);
+        ``executed`` is True when the rewrite actually ran — i.e. it was not
+        turned away by a guard.  Only executed matches may enter the dedup
+        ledger: a guard-rejected match must be re-examined next epoch
+        because guards read mutable e-graph state.
+        """
         raise NotImplementedError
 
     def run(self, egraph: EGraph) -> int:
@@ -87,6 +172,12 @@ class Rewrite(BaseRewrite):
     #: one-directional by default to bound growth.
     bidirectional: bool = False
 
+    # Instantiating a pattern reads nothing but the substitution's class
+    # ids, so re-applying an identical canonical fingerprint is always a
+    # semantic no-op (the instantiated class hashconses onto the one the
+    # first application built and the merge is already in effect).
+    deduplicable = True
+
     def search(self, egraph: EGraph) -> List[RewriteMatch]:
         matches = [RewriteMatch(cid, sub) for cid, sub in search(egraph, self.lhs)]
         if self.bidirectional:
@@ -101,14 +192,14 @@ class Rewrite(BaseRewrite):
             )
         return matches
 
-    def apply_match(self, egraph: EGraph, match: RewriteMatch) -> bool:
+    def apply_match_checked(self, egraph: EGraph, match: RewriteMatch) -> Tuple[bool, bool]:
         if self.guard is not None and not self.guard(egraph, match.class_id, match.substitution):
-            return False
+            return False, False
         before = egraph.version
         target = self.lhs if match.reverse else self.rhs
         new_id = instantiate(egraph, target, match.substitution)
         egraph.merge(match.class_id, new_id)
-        return egraph.version != before
+        return egraph.version != before, True
 
     def __str__(self) -> str:
         return f"{self.name}: {self.lhs} => {self.rhs}"
@@ -116,25 +207,49 @@ class Rewrite(BaseRewrite):
 
 @dataclass
 class DynamicRewrite(BaseRewrite):
-    """A rewrite whose right-hand side is computed by an applier function."""
+    """A rewrite whose right-hand side is computed by an applier function.
+
+    ``pure`` declares that a *successful* applier outcome is a stable
+    function of the canonical ids the match binds: once the applier
+    returned a class for a given canonical substitution, re-running it can
+    only ever reproduce the same (already merged) equivalence.  The affine
+    arithmetic rules qualify — they read the numeric *values* of bound
+    literal classes, which sound merges never change.  Rules whose applier
+    enumerates class *structure* (the chain-folding rule walks whatever
+    ``Union`` e-nodes currently exist) are impure: a later epoch can
+    genuinely produce a new result for an already-seen match, so they never
+    enter the dedup ledger.  (``None`` outcomes are always re-examined,
+    pure or not — see :meth:`apply_match_checked`.)  The default (impure)
+    is always safe.
+    """
 
     name: str
     lhs: Pattern
     applier: Applier
     guard: Optional[Guard] = None
+    pure: bool = False
+
+    @property
+    def deduplicable(self) -> bool:
+        return self.pure
 
     def search(self, egraph: EGraph) -> List[RewriteMatch]:
         return [RewriteMatch(cid, sub) for cid, sub in search(egraph, self.lhs)]
 
-    def apply_match(self, egraph: EGraph, match: RewriteMatch) -> bool:
+    def apply_match_checked(self, egraph: EGraph, match: RewriteMatch) -> Tuple[bool, bool]:
         if self.guard is not None and not self.guard(egraph, match.class_id, match.substitution):
-            return False
+            return False, False
         before = egraph.version
         new_id = self.applier(egraph, match.class_id, match.substitution)
         if new_id is None:
-            return False
+            # Not ``executed`` for ledger purposes even when ``pure``: a
+            # None outcome can flip once a *bound class* gains the e-node
+            # the applier was looking for (its id never changes), so the
+            # match must be re-examined every epoch, exactly like a
+            # guard rejection.
+            return False, False
         egraph.merge(match.class_id, new_id)
-        return egraph.version != before
+        return egraph.version != before, True
 
     def __str__(self) -> str:
         return f"{self.name}: {self.lhs} => <dynamic>"
@@ -166,7 +281,13 @@ def rewrite(
 
 
 def dynamic_rewrite(
-    name: str, lhs: str, applier: Applier, *, guard: Optional[Guard] = None
+    name: str, lhs: str, applier: Applier, *, guard: Optional[Guard] = None, pure: bool = False
 ) -> DynamicRewrite:
-    """Construct a dynamic rewrite from s-expression pattern text and an applier."""
-    return DynamicRewrite(name=name, lhs=parse_pattern(lhs), applier=applier, guard=guard)
+    """Construct a dynamic rewrite from s-expression pattern text and an applier.
+
+    Pass ``pure=True`` only when the applier's outcome depends solely on the
+    canonical ids bound by the match (see :class:`DynamicRewrite`).
+    """
+    return DynamicRewrite(
+        name=name, lhs=parse_pattern(lhs), applier=applier, guard=guard, pure=pure
+    )

@@ -19,6 +19,22 @@ Each iteration runs in two phases, egg-style:
    match applications (not once per iteration), so a single explosive
    iteration can no longer blow arbitrarily past the configured budget.
 
+   With ``dedup=True`` (the default) every deduplicable rule keeps an
+   *applied-match ledger*: the canonical fingerprints
+   (:meth:`RewriteMatch.fingerprint`) of matches that already executed.  A
+   match whose fingerprint is in the ledger is skipped outright — no guard
+   evaluation, no instantiation, no self-merge — because re-applying an
+   identical canonical fingerprint of a syntactic rule cannot add anything
+   the first application did not (the instantiated class hashconses onto
+   the existing one and the merge is already in effect).  Fingerprints are
+   stamped against the union-find version: they stay cached on the match
+   objects while no merge happens, so a quiescent late iteration that
+   rediscovers thousands of stale matches costs one set lookup per match;
+   and whenever a merge *does* re-canonicalize a participating id, the
+   entry can never be hit again (lookups canonicalize first) and is pruned
+   from the ledger at the end of the iteration.  Skips are reported per
+   iteration as :attr:`IterationReport.skipped_applications`.
+
 A per-rule *backoff scheduler* (:class:`BackoffScheduler`) tames rules whose
 match counts explode: when a rule produces more matches in one search than
 its current threshold, the rule is banned for a number of iterations and its
@@ -168,6 +184,16 @@ class IterationReport:
     #: cost analysis riding along this is the incremental-extraction work
     #: the post-hoc fixpoint no longer has to do.
     analysis_updates: int = 0
+    #: Apply-phase dedup counters: matches skipped because an identical
+    #: canonical fingerprint already executed, and matches that actually ran
+    #: (guard passed, instantiation/applier performed).  In a quiescent late
+    #: iteration ``skipped_applications`` approaches the match count and
+    #: ``applied_matches`` approaches zero.
+    skipped_applications: int = 0
+    applied_matches: int = 0
+    #: Fresh e-nodes hash-consed into the graph during this iteration — the
+    #: apply phase's allocation counter (0 in a fully deduplicated epoch).
+    enodes_created: int = 0
 
     @property
     def total_firings(self) -> int:
@@ -256,6 +282,7 @@ class Runner:
         incremental: Optional[bool] = None,
         compiled: Optional[CompiledRuleSet] = None,
         analyses: Sequence[Analysis] = (),
+        dedup: Optional[bool] = None,
     ):
         self.rules = list(rules)
         self.limits = limits or RunnerLimits()
@@ -272,6 +299,12 @@ class Runner:
         self.compiled = compiled
         if self.incremental and self.compiled is None:
             self.compiled = CompiledRuleSet(self.rules)
+        #: Apply-phase deduplication (see the module docstring); on by
+        #: default, switchable off for ablations/differential testing.
+        self.dedup = True if dedup is None else dedup
+        #: rule name -> set of executed canonical fingerprints; reset per run.
+        self._ledgers: Dict[str, set] = {}
+        self._ledger_stamp = -1
         #: The matcher of the most recent :meth:`run` (post-run inspection).
         self.matcher: Optional[IncrementalMatcher] = None
 
@@ -322,16 +355,109 @@ class Runner:
         start: float,
         report: IterationReport,
     ) -> Optional[StopReason]:
-        """Apply collected matches, enforcing limits between applications."""
+        """Apply collected matches, enforcing limits between applications.
+
+        Deduplicable rules consult their applied-match ledger first: a
+        match whose canonical fingerprint already executed is skipped
+        before the limit checks, the guard, and the instantiation — in a
+        quiescent late iteration the whole phase degenerates to one set
+        lookup per match (the fingerprints themselves are cached on the
+        match objects while no union happens).
+        """
+        max_enodes = self.limits.max_enodes
+        max_seconds = self.limits.max_seconds
+        union_find = egraph._union_find
+        # The union version only moves inside apply_match_checked, so the
+        # loop tracks it in a local instead of re-reading the attribute
+        # chain per match — the skip fast path below is two slot reads and
+        # an integer compare.
+        union_version = union_find.version
+        stop: Optional[StopReason] = None
         for rule, matches in searched:
+            ledger = self._ledgers.get(rule.name)
+            apply_checked = rule.apply_match_checked
+            fired = skipped = applied = 0
             for match in matches:
-                if egraph.approx_enodes > self.limits.max_enodes:
-                    return StopReason.NODE_LIMIT
-                if time.perf_counter() - start > self.limits.max_seconds:
-                    return StopReason.TIME_LIMIT
-                if rule.apply_match(egraph, match):
-                    report.firings[rule.name] = report.firings.get(rule.name, 0) + 1
+                if ledger is not None:
+                    # Fast path: the match was confirmed in the ledger and no
+                    # union has happened since.  (The incremental matcher
+                    # serves the same objects every epoch, so a quiescent
+                    # tail iteration takes this branch for nearly every
+                    # match.)
+                    if match.skip_stamp == union_version:
+                        skipped += 1
+                        continue
+                    fingerprint = match.fingerprint(egraph)
+                    if fingerprint in ledger:
+                        match.skip_stamp = union_version
+                        skipped += 1
+                        continue
+                if egraph.approx_enodes > max_enodes:
+                    stop = StopReason.NODE_LIMIT
+                    break
+                if time.perf_counter() - start > max_seconds:
+                    stop = StopReason.TIME_LIMIT
+                    break
+                changed, executed = apply_checked(egraph, match)
+                if changed:
+                    union_version = union_find.version
+                if executed:
+                    applied += 1
+                    if ledger is not None:
+                        ledger.add(fingerprint)
+                        if not changed:
+                            match.skip_stamp = union_version
+                if changed:
+                    fired += 1
+            if fired:
+                report.firings[rule.name] = report.firings.get(rule.name, 0) + fired
+            report.skipped_applications += skipped
+            report.applied_matches += applied
+            if stop is not None:
+                return stop
         return None
+
+    # -- dedup ledger maintenance -------------------------------------------------
+
+    @staticmethod
+    def _fingerprint_canonical(parents: List[int], fingerprint) -> bool:
+        """True while every id the fingerprint binds is still canonical."""
+        class_id, _reverse, bindings = fingerprint
+        if parents[class_id] != class_id:
+            return False
+        for _name, bound in bindings:
+            if parents[bound] != bound:
+                return False
+        return True
+
+    def _prune_ledgers(self, egraph: EGraph) -> None:
+        """Drop ledger entries invalidated by merges since the last prune.
+
+        An entry is invalidated exactly when a merge re-canonicalized one of
+        its participating ids: lookups canonicalize the incoming match
+        first, so such an entry can never be hit again and only wastes
+        memory.  The union-find version is the epoch stamp — while it is
+        unchanged no id's representative moved and the sweep is skipped
+        entirely, which makes quiescent iterations free.  A sweep is
+        O(ledger), so it additionally waits until the unions accumulated
+        since the last sweep are at least a quarter of the ledger size —
+        amortized O(1) bookkeeping per union, with staleness bounded to a
+        constant fraction of the live entries.
+        """
+        if not self._ledgers:
+            return
+        stamp = egraph.union_version
+        unions = stamp - self._ledger_stamp
+        if unions <= 0:
+            return
+        total = sum(len(ledger) for ledger in self._ledgers.values())
+        if unions * 4 < total:
+            return
+        self._ledger_stamp = stamp
+        parents = egraph._union_find.parents
+        canonical = self._fingerprint_canonical
+        for name, ledger in self._ledgers.items():
+            self._ledgers[name] = {fp for fp in ledger if canonical(parents, fp)}
 
     # -- driver -------------------------------------------------------------------
 
@@ -344,15 +470,23 @@ class Runner:
         # also makes it safe to take over the graph's dirty stream from any
         # previous consumer (mutations between runs are then irrelevant).
         self.matcher = IncrementalMatcher(self.compiled) if self.incremental else None
+        # Fresh ledgers per run: fingerprints embed this graph's class ids.
+        self._ledgers = (
+            {rule.name: set() for rule in self.rules if rule.deduplicable}
+            if self.dedup
+            else {}
+        )
         for analysis in self.analyses:
             egraph.register_analysis(analysis)
         egraph.rebuild()  # searches must always see canonical ids
+        self._ledger_stamp = egraph.union_version
 
         iteration = 0
         while iteration < self.limits.max_iterations:
             iteration_start = time.perf_counter()
             version_before = egraph.version
             updates_before = egraph.analysis_updates
+            created_before = egraph.enodes_created
             it_report = IterationReport(index=iteration)
 
             searched = self._search_phase(egraph, iteration, it_report)
@@ -364,8 +498,10 @@ class Runner:
 
             rebuild_start = time.perf_counter()
             egraph.rebuild()
+            self._prune_ledgers(egraph)
             it_report.rebuild_seconds = time.perf_counter() - rebuild_start
 
+            it_report.enodes_created = egraph.enodes_created - created_before
             it_report.enodes_after = egraph.total_enodes
             it_report.classes_after = len(egraph)
             it_report.analysis_updates = egraph.analysis_updates - updates_before

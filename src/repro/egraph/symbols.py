@@ -1,0 +1,63 @@
+"""Operator interning: the per-e-graph symbol table.
+
+The e-graph's hot paths — hashcons lookups, congruence repair, compiled
+e-matching — compare operators constantly.  Operators are strings (and the
+occasional numeric literal), so every comparison used to pay for string
+hashing/equality inside a frozen-dataclass ``ENode``.  A :class:`SymbolTable`
+interns each distinct operator into a dense integer id once, at the e-graph
+boundary; everything inside the ``egraph`` package then works on flat tuples
+``(op_id, *arg_ids)`` whose hashing and equality are pure integer work.
+
+Interning follows plain ``dict`` key semantics, which is exactly what the old
+``ENode`` equality did: values that compare equal (``1``, ``1.0``, ``True``)
+share one id, and the first-seen spelling is what :meth:`SymbolTable.op`
+decodes back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+Operator = Union[str, int, float]
+
+
+class SymbolTable:
+    """A bidirectional operator <-> dense-integer-id interner."""
+
+    __slots__ = ("_ids", "_ops")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Operator, int] = {}
+        self._ops: List[Operator] = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __contains__(self, op: Operator) -> bool:
+        return op in self._ids
+
+    def intern(self, op: Operator) -> int:
+        """The id for ``op``, allocating a fresh one on first sight."""
+        op_id = self._ids.get(op)
+        if op_id is None:
+            op_id = len(self._ops)
+            self._ids[op] = op_id
+            self._ops.append(op)
+        return op_id
+
+    def get(self, op: Operator) -> Optional[int]:
+        """The id for ``op`` if it was ever interned, else None.
+
+        A None result is a useful fast negative: an operator the e-graph has
+        never seen cannot appear in any e-node, so pattern compilation can
+        prune whole programs without touching a single class.
+        """
+        return self._ids.get(op)
+
+    def op(self, op_id: int) -> Operator:
+        """Decode an id back to its (first-seen) operator."""
+        return self._ops[op_id]
+
+    def ops(self) -> Tuple[Operator, ...]:
+        """Every interned operator, in allocation order."""
+        return tuple(self._ops)

@@ -5,6 +5,30 @@ array-backed structure with path compression.  Union is *not*
 union-by-rank: the e-graph needs to control which id survives a merge (the
 canonical id keeps the merged class's data), so :meth:`union` always makes
 the second argument point at the first.
+
+**Inlined finds.**  The saturation inner loops (e-matching, apply,
+congruence repair) canonicalize ids millions of times per run; a method
+call per ``find`` dominates their profile.  :attr:`parents` exposes the
+backing array so those loops can run the two-pass find (walk to the root,
+then compress) inline::
+
+    parents = union_find.parents
+    root = id_
+    while parents[root] != root:
+        root = parents[root]
+    while parents[id_] != root:
+        parents[id_], id_ = root, parents[id_]
+
+The array object is stable for the lifetime of the union-find
+(:meth:`make_set` appends in place), so a borrowed reference never goes
+stale.  Borrowers must only ever *compress* (redirect an id at its current
+root) — never re-parent a root.
+
+**Union versioning.**  :attr:`version` counts effective unions.  An id's
+canonical representative can only change when a union happens, so any
+canonicalized value (e.g. a rewrite match fingerprint) computed at version
+``v`` is still canonical while ``version == v`` — the cheap validity stamp
+the apply-phase dedup ledger relies on.
 """
 
 from __future__ import annotations
@@ -15,26 +39,35 @@ from typing import List
 class UnionFind:
     """Array-backed union-find with path compression."""
 
+    __slots__ = ("parents", "version")
+
     def __init__(self) -> None:
-        self._parents: List[int] = []
+        #: The live parent array, for inlined finds (see the module
+        #: docstring).  A plain attribute, not a property: the borrowing
+        #: loops read it once per canonicalization and a descriptor call
+        #: there is measurable.  Never rebound — only mutated in place.
+        self.parents: List[int] = []
+        #: Number of effective unions performed (see the module docstring).
+        self.version = 0
 
     def __len__(self) -> int:
-        return len(self._parents)
+        return len(self.parents)
 
     def make_set(self) -> int:
         """Create a fresh singleton set and return its id."""
-        new_id = len(self._parents)
-        self._parents.append(new_id)
+        new_id = len(self.parents)
+        self.parents.append(new_id)
         return new_id
 
     def find(self, id_: int) -> int:
         """Return the canonical representative of ``id_`` (with compression)."""
+        parents = self.parents
         root = id_
-        while self._parents[root] != root:
-            root = self._parents[root]
+        while parents[root] != root:
+            root = parents[root]
         # Path compression.
-        while self._parents[id_] != root:
-            self._parents[id_], id_ = root, self._parents[id_]
+        while parents[id_] != root:
+            parents[id_], id_ = root, parents[id_]
         return root
 
     def union(self, keep: int, merge: int) -> int:
@@ -47,7 +80,8 @@ class UnionFind:
         keep_root = self.find(keep)
         merge_root = self.find(merge)
         if keep_root != merge_root:
-            self._parents[merge_root] = keep_root
+            self.parents[merge_root] = keep_root
+            self.version += 1
         return keep_root
 
     def in_same_set(self, a: int, b: int) -> bool:
@@ -58,14 +92,14 @@ class UnionFind:
 
     def compress_all(self) -> None:
         """Path-compress every id (so :meth:`is_fully_compressed` is meaningful)."""
-        for id_ in range(len(self._parents)):
+        for id_ in range(len(self.parents)):
             self.find(id_)
 
     def is_fully_compressed(self) -> bool:
         """True when every id points directly at its root."""
-        parents = self._parents
+        parents = self.parents
         return all(parents[parents[id_]] == parents[id_] for id_ in range(len(parents)))
 
     def roots(self) -> List[int]:
         """All canonical representatives (ids that are their own parent)."""
-        return [id_ for id_, parent in enumerate(self._parents) if id_ == parent]
+        return [id_ for id_, parent in enumerate(self.parents) if id_ == parent]

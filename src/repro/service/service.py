@@ -91,12 +91,17 @@ class SynthesisService:
         worker_count: int = 0,
         cache: Optional[ResultCache] = None,
         on_event: Optional[EventCallback] = None,
+        persistent: bool = False,
     ):
         if worker_count < 0:
             raise ValueError("worker_count must be >= 0")
         self.worker_count = worker_count
         self.cache = cache
         self.on_event = on_event
+        #: Keep worker processes alive across jobs within a batch (see
+        #: :class:`~repro.service.worker.WorkerPool`); ignored when
+        #: ``worker_count == 0``.
+        self.persistent = persistent
 
     def run_batch(self, jobs: Sequence[SynthesisJob]) -> BatchReport:
         """Run a batch of jobs and return their outcomes in submission order."""
@@ -127,7 +132,8 @@ class SynthesisService:
             if self.worker_count == 0:
                 executed = run_jobs_inline(to_run, self.on_event)
             else:
-                executed = WorkerPool(self.worker_count).run(to_run, self.on_event)
+                pool = WorkerPool(self.worker_count, persistent=self.persistent)
+                executed = pool.run(to_run, self.on_event)
             for job in to_run:
                 outcome = executed[job.job_id]
                 results[job.job_id] = outcome

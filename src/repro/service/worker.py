@@ -14,6 +14,17 @@ down only its own process; the parent reaps the corpse and reports a
 failed/timed-out :class:`~repro.service.job.JobResult` while the rest of the
 batch keeps running.
 
+With ``persistent=True`` the pool instead keeps ``worker_count`` long-lived
+worker processes alive for the duration of the batch and streams job
+payloads to them over duplex pipes — amortizing interpreter/import startup
+across the whole batch instead of paying it per job.  The crash-isolation
+contract is unchanged: a persistent worker that dies mid-job (crash,
+segfault, or a hard timeout kill) takes down only the job it was running —
+the job is reported FAILED/TIMEOUT and a replacement worker is spawned if
+work remains.  Per-process state corruption can now outlive a *successful*
+job, which is the deliberate trade: callers who need the strictest
+isolation keep the default one-process-per-job mode.
+
 :func:`run_jobs_inline` is the zero-process executor used for ``--jobs 0``
 (and by unit tests): same scheduling order and error capture, but timeouts
 are only honored cooperatively (the config's ``max_seconds`` fuel is
@@ -73,6 +84,39 @@ def execute_payload(payload: dict) -> dict:
             "seconds": time.perf_counter() - start,
             "error": traceback.format_exc(),
         }
+
+
+def _persistent_worker_loop(conn) -> None:
+    """Long-lived worker entry point: serve payloads until told to stop.
+
+    The protocol is strictly request/response over one duplex pipe: the
+    parent sends a payload dict, the worker answers with exactly one
+    outcome dict.  ``None`` (or a closed pipe) is the shutdown signal.
+    """
+    while True:
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if payload is None:
+            break
+        try:
+            outcome = execute_payload(payload)
+        except BaseException:  # pragma: no cover - execute_payload already catches
+            import traceback
+
+            outcome = {
+                "job_id": payload.get("job_id", "?"),
+                "name": payload.get("name", "?"),
+                "status": "failed",
+                "seconds": 0.0,
+                "error": traceback.format_exc(),
+            }
+        try:
+            conn.send(outcome)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
 
 
 def _worker_entry(payload: dict, conn) -> None:
@@ -150,13 +194,66 @@ class _Slot:
     deadline: Optional[float]
 
 
-class WorkerPool:
-    """Fans jobs out across processes, up to ``worker_count`` at a time."""
+@dataclass
+class _PersistentWorker:
+    """One long-lived worker process and the job it is currently running."""
 
-    def __init__(self, worker_count: int, start_method: Optional[str] = None):
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    job: Optional[SynthesisJob] = None
+    started: float = 0.0
+    deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.job is not None
+
+    def assign(self, job: SynthesisJob, on_event: Optional[EventCallback]) -> None:
+        self.job = job
+        self.started = time.perf_counter()
+        self.deadline = self.started + job.timeout if job.timeout is not None else None
+        self.conn.send(job.payload())
+        _emit(on_event, JobEvent("start", job.job_id, job.name))
+
+    def shutdown(self) -> None:
+        """Best-effort graceful stop, then force."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join()
+
+
+class WorkerPool:
+    """Fans jobs out across processes, up to ``worker_count`` at a time.
+
+    ``persistent=True`` switches from one-process-per-job to a fixed crew of
+    long-lived workers fed over pipes (see the module docstring for the
+    isolation trade-off).
+    """
+
+    def __init__(
+        self,
+        worker_count: int,
+        start_method: Optional[str] = None,
+        persistent: bool = False,
+    ):
         if worker_count < 1:
             raise ValueError("worker_count must be >= 1 (use run_jobs_inline for 0)")
         self.worker_count = worker_count
+        self.persistent = persistent
+        #: Worker processes spawned over the pool's lifetime, in *either*
+        #: mode: one per job in the default mode, and in persistent mode
+        #: the initial crew plus one per respawn after a crash/timeout
+        #: (observable in tests and reports).
+        self.workers_spawned = 0
         if start_method is None:
             # Fork (where available) keeps per-job startup cheap: the child
             # inherits the already-imported pipeline instead of re-importing.
@@ -176,6 +273,8 @@ class WorkerPool:
         call returns only when every job has succeeded, failed, crashed, or
         been killed at its deadline.
         """
+        if self.persistent:
+            return self._run_persistent(jobs, on_event)
         queue = JobQueue(jobs)
         running: List[_Slot] = []
         results: Dict[str, JobResult] = {}
@@ -193,6 +292,161 @@ class WorkerPool:
                 slot.process.join()
         return results
 
+    # -- persistent mode --------------------------------------------------------
+
+    def _spawn_persistent(self) -> _PersistentWorker:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_persistent_worker_loop, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        self.workers_spawned += 1
+        return _PersistentWorker(process=process, conn=parent_conn)
+
+    #: Consecutive idle-death assignment failures tolerated per job before
+    #: it is reported FAILED instead of retried on a fresh worker.
+    _MAX_ASSIGN_ATTEMPTS = 3
+
+    def _run_persistent(
+        self, jobs: Sequence[SynthesisJob], on_event: Optional[EventCallback]
+    ) -> Dict[str, JobResult]:
+        queue = JobQueue(jobs)
+        results: Dict[str, JobResult] = {}
+        assign_failures: Dict[str, int] = {}
+        crew: List[_PersistentWorker] = [
+            self._spawn_persistent() for _ in range(min(self.worker_count, len(queue)))
+        ]
+        try:
+            while queue or any(worker.busy for worker in crew):
+                for worker in list(crew):  # _retire mutates the crew
+                    if worker.busy or not queue:
+                        continue
+                    job = queue.pop()
+                    try:
+                        worker.assign(job, on_event)
+                    except (BrokenPipeError, OSError):
+                        # The worker died while *idle*: the job never
+                        # started, so retry it on a replacement (bounded —
+                        # if fresh workers keep dying on arrival, fail the
+                        # job rather than spin) and keep the batch alive.
+                        worker.job = None
+                        failures = assign_failures.get(job.job_id, 0) + 1
+                        assign_failures[job.job_id] = failures
+                        if failures >= self._MAX_ASSIGN_ATTEMPTS:
+                            result = JobResult(
+                                job_id=job.job_id,
+                                name=job.name,
+                                status=JobStatus.FAILED,
+                                error=(
+                                    "persistent worker died before accepting the "
+                                    f"job ({failures} attempts)"
+                                ),
+                            )
+                            results[job.job_id] = result
+                            _emit(
+                                on_event,
+                                JobEvent(
+                                    "failed", job.job_id, job.name, 0.0,
+                                    result.error_summary(),
+                                ),
+                            )
+                        else:
+                            queue.push(job)
+                        self._retire(worker, crew, queue)
+                self._reap_persistent(crew, queue, results, on_event)
+        finally:
+            for worker in crew:
+                worker.shutdown()
+        return results
+
+    def _reap_persistent(
+        self,
+        crew: List[_PersistentWorker],
+        queue: JobQueue,
+        results: Dict[str, JobResult],
+        on_event: Optional[EventCallback],
+    ) -> None:
+        """Wait for progress on busy workers; collect results, crashes, expiries."""
+        busy = [worker for worker in crew if worker.busy]
+        if not busy:
+            return
+        deadlines = [w.deadline for w in busy if w.deadline is not None]
+        timeout = max(0.0, min(deadlines) - time.perf_counter()) if deadlines else None
+        ready = set(connection_wait([worker.conn for worker in busy], timeout))
+        now = time.perf_counter()
+        for worker in busy:
+            if worker.conn in ready:
+                self._collect_persistent(worker, crew, queue, now, results, on_event)
+            elif worker.deadline is not None and now >= worker.deadline:
+                job = worker.job
+                self._retire(worker, crew, queue)
+                elapsed = now - worker.started
+                result = JobResult(
+                    job_id=job.job_id,
+                    name=job.name,
+                    status=JobStatus.TIMEOUT,
+                    error=f"killed after exceeding the {job.timeout:g}s job timeout",
+                    seconds=elapsed,
+                )
+                results[job.job_id] = result
+                _emit(
+                    on_event,
+                    JobEvent("timeout", job.job_id, job.name, elapsed, result.error_summary()),
+                )
+
+    def _collect_persistent(
+        self,
+        worker: _PersistentWorker,
+        crew: List[_PersistentWorker],
+        queue: JobQueue,
+        now: float,
+        results: Dict[str, JobResult],
+        on_event: Optional[EventCallback],
+    ) -> None:
+        """A busy worker's pipe is readable: an outcome, or EOF (it died)."""
+        job = worker.job
+        elapsed = now - worker.started
+        try:
+            outcome = worker.conn.recv()
+        except (EOFError, OSError):
+            outcome = None
+        if outcome is None:
+            # The worker died mid-job: fail the job, replace the worker.
+            self._retire(worker, crew, queue)
+            result = JobResult(
+                job_id=job.job_id,
+                name=job.name,
+                status=JobStatus.FAILED,
+                error=(
+                    f"persistent worker died without reporting "
+                    f"(exit code {worker.process.exitcode})"
+                ),
+                seconds=elapsed,
+            )
+        else:
+            worker.job = None
+            worker.deadline = None
+            result = _result_from_outcome(job, outcome, outcome.get("seconds", elapsed))
+        results[job.job_id] = result
+        kind = "done" if result.ok else "failed"
+        _emit(on_event, JobEvent(kind, job.job_id, job.name, result.seconds, result.error_summary()))
+
+    def _retire(
+        self, worker: _PersistentWorker, crew: List[_PersistentWorker], queue: JobQueue
+    ) -> None:
+        """Kill a dead/expired worker; respawn a replacement if work remains."""
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        crew.remove(worker)
+        if queue:
+            crew.append(self._spawn_persistent())
+
     # -- internals -------------------------------------------------------------
 
     def _launch(self, job: SynthesisJob, on_event: Optional[EventCallback]) -> _Slot:
@@ -201,6 +455,7 @@ class WorkerPool:
             target=_worker_entry, args=(job.payload(), child_conn), daemon=True
         )
         process.start()
+        self.workers_spawned += 1
         child_conn.close()  # the parent's copy; the child holds its own
         _emit(on_event, JobEvent("start", job.job_id, job.name))
         now = time.perf_counter()

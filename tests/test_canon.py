@@ -170,6 +170,13 @@ class TestCacheKey:
             self.term, SynthesisConfig(incremental_search=False)
         )
 
+    def test_apply_dedup_shares_the_key(self):
+        # Same story as incremental_search: the dedup ledger only skips
+        # self-merges (tests/test_apply_dedup.py pins the parity).
+        assert cache_key(self.term, self.config) == cache_key(
+            self.term, SynthesisConfig(apply_dedup=False)
+        )
+
     def test_term_content_changes_the_key(self):
         other = union_all([translate(3.0 * i, 0.0, 0.0, unit()) for i in range(3)])
         assert cache_key(self.term, self.config) != cache_key(other, self.config)

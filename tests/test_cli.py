@@ -111,6 +111,23 @@ class TestParser:
             build_parser().parse_args(["list"])
         ).fingerprint()
 
+    def test_no_apply_dedup_threads_into_the_config(self):
+        args = build_parser().parse_args(["--no-apply-dedup", "list"])
+        config = _config_from_args(args)
+        assert config.apply_dedup is False
+        # Schedule-only knob: it must not change the cache identity.
+        assert config.fingerprint() == _config_from_args(
+            build_parser().parse_args(["list"])
+        ).fingerprint()
+
+    def test_persistent_workers_flag_parses_on_batch_and_table1(self):
+        args = build_parser().parse_args(["batch", "a.csg", "--persistent-workers"])
+        assert args.persistent_workers is True
+        args = build_parser().parse_args(["table1", "--jobs", "2", "--persistent-workers"])
+        assert args.persistent_workers is True
+        args = build_parser().parse_args(["table1"])
+        assert args.persistent_workers is False
+
     def test_run_is_an_alias_for_synth(self):
         args = build_parser().parse_args(["run", "model.csg"])
         assert args.input == "model.csg"

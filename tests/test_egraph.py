@@ -244,3 +244,96 @@ class TestParentQueries:
         )
         egraph.rebuild()
         assert egraph.approx_enodes == egraph.total_enodes
+
+
+# ---------------------------------------------------------------------------
+# Flat representation: symbol interning, facade decoding, incremental counts
+# ---------------------------------------------------------------------------
+
+
+class TestFlatRepresentation:
+    def test_symbols_intern_round_trip(self):
+        from repro.egraph.symbols import SymbolTable
+
+        table = SymbolTable()
+        a = table.intern("Union")
+        b = table.intern(3.5)
+        assert table.intern("Union") == a  # idempotent
+        assert a != b
+        assert table.op(a) == "Union" and table.op(b) == 3.5
+        assert table.get("Union") == a
+        assert table.get("never-seen") is None
+        assert "Union" in table and "never-seen" not in table
+        assert len(table) == 2
+        assert table.ops() == ("Union", 3.5)
+
+    def test_equal_numeric_operators_share_an_id(self):
+        # dict-key semantics, matching the old ENode equality: 1 == 1.0.
+        from repro.egraph.symbols import SymbolTable
+
+        table = SymbolTable()
+        assert table.intern(1) == table.intern(1.0)
+        assert table.op(table.intern(1.0)) == 1  # first spelling wins
+
+    def test_hashcons_keys_are_flat_tuples(self):
+        egraph = EGraph()
+        root = egraph.add_term(Term.parse("(Union Cube Sphere)"))
+        sym = egraph.symbols
+        cube = egraph.lookup_term(Term("Cube"))
+        sphere = egraph.lookup_term(Term("Sphere"))
+        expected = (sym.get("Union"), cube, sphere)
+        assert expected in egraph._hashcons
+        assert egraph.find(egraph._hashcons[expected]) == root
+        assert egraph.flat_nodes(root) == [expected]
+
+    def test_nodes_facade_decodes_and_caches(self):
+        egraph = EGraph()
+        root = egraph.add_term(Term.parse("(Union Cube Sphere)"))
+        nodes = egraph.nodes(root)
+        assert [n.op for n in nodes] == ["Union"]
+        assert nodes is egraph.nodes(root)  # cached until the class changes
+        other = egraph.add_term(Term.parse("(Inter Cube Cube)"))
+        egraph.merge(root, other)
+        decoded = {n.op for n in egraph.nodes(root)}
+        assert decoded == {"Union", "Inter"}  # cache invalidated by the merge
+
+    def test_canonicalize_is_allocation_free_when_canonical(self):
+        egraph = EGraph()
+        a = egraph.add_leaf("A")
+        b = egraph.add_leaf("B")
+        node = ENode("Union", (a, b))
+        assert node.canonicalize(egraph.find) is node
+        flat = (egraph.symbols.intern("Union"), a, b)
+        assert egraph.canonical_flat(flat) is flat
+        egraph.merge(a, b)
+        assert egraph.canonical_flat(flat) is not flat
+
+    def test_incremental_count_tracks_adds_merges_and_rebuild_dedup(self):
+        egraph = EGraph()
+        a = egraph.add_term(Term.parse("(F A)"))
+        b = egraph.add_term(Term.parse("(F B)"))
+        assert egraph.total_enodes == 4
+        egraph.merge(
+            egraph.lookup_term(Term("A")), egraph.lookup_term(Term("B"))
+        )
+        # Pre-rebuild the merged class holds both (now-duplicate) leaves.
+        assert egraph.total_enodes == 4
+        egraph.rebuild()  # (F A) and (F B) become congruent and dedupe
+        assert egraph.total_enodes == sum(len(c.flat) for c in egraph.classes())
+        assert egraph.is_equal(a, b)
+        egraph.check_invariants()
+
+    def test_enodes_created_is_monotone(self):
+        egraph = EGraph()
+        egraph.add_term(Term.parse("(Union Cube Sphere)"))
+        created = egraph.enodes_created
+        assert created == 3
+        egraph.add_term(Term.parse("(Union Cube Sphere)"))  # all hashcons hits
+        assert egraph.enodes_created == created
+        egraph.merge(
+            egraph.lookup_term(Term("Cube")), egraph.lookup_term(Term("Sphere"))
+        )
+        egraph.rebuild()
+        # Rebuild dedup shrinks the live count but never the monotone counter.
+        assert egraph.enodes_created == created
+        assert egraph.total_enodes <= created

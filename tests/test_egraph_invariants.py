@@ -104,7 +104,9 @@ def test_checker_detects_hashcons_corruption():
     egraph = EGraph()
     egraph.add_term(Term("U", (Term("x"), Term("y"))))
     egraph.rebuild()
-    egraph._hashcons[ENode("ghost", ())] = 0
+    # The hashcons is keyed by flat (op_id, *args) tuples; smuggle in a
+    # ghost entry for an interned-but-unstored operator.
+    egraph._hashcons[(egraph.symbols.intern("ghost"),)] = 0
     with pytest.raises(AssertionError):
         egraph.check_invariants()
 
@@ -114,8 +116,10 @@ def test_checker_detects_congruence_violation():
     x = egraph.add_term(Term("x"))
     y = egraph.add_term(Term("y"))
     egraph.rebuild()
-    # Smuggle a duplicate canonical node into a second class.
-    egraph._classes[y].nodes.append(egraph._classes[x].nodes[0])
+    # Smuggle a duplicate canonical node into a second class (nodes are
+    # stored flat; the decoded `.nodes` view is a cache, not the storage).
+    egraph._classes[y].append_flat(egraph._classes[x].flat[0])
+    egraph._enode_count += 1  # keep the count honest so congruence fires
     with pytest.raises(AssertionError):
         egraph.check_invariants()
 

@@ -379,6 +379,119 @@ class TestWorkerPool:
 
 
 # ---------------------------------------------------------------------------
+# Persistent workers: amortized startup, crash isolation preserved
+# ---------------------------------------------------------------------------
+
+
+class TestPersistentWorkerPool:
+    def test_results_match_inline_and_workers_are_reused(self):
+        jobs = [SynthesisJob(name=f"chain-{n}", term=_chain(n)) for n in (3, 4, 5, 6)]
+        inline = run_jobs_inline(jobs)
+        pool = WorkerPool(2, persistent=True)
+        pooled = pool.run(jobs)
+        assert set(pooled) == set(inline)
+        for job_id, inline_result in inline.items():
+            pooled_result = pooled[job_id]
+            assert pooled_result.status is JobStatus.SUCCEEDED
+            assert [c.term for c in pooled_result.result.candidates] == [
+                c.term for c in inline_result.result.candidates
+            ]
+        # 4 jobs over 2 long-lived workers: no per-job process was spawned.
+        assert pool.workers_spawned == 2
+
+    def test_spawns_no_more_workers_than_jobs(self):
+        pool = WorkerPool(8, persistent=True)
+        results = pool.run([SynthesisJob(name="only", term=_chain(3))])
+        assert results and all(r.ok for r in results.values())
+        assert pool.workers_spawned == 1
+
+    def test_worker_exception_is_a_failed_job_not_a_sunk_batch(self):
+        jobs = [
+            SynthesisJob(
+                name="bad", term=_chain(3), config=SynthesisConfig(cost_function="no-such")
+            ),
+            SynthesisJob(name="ok", term=_chain(3)),
+        ]
+        pool = WorkerPool(2, persistent=True)
+        results = pool.run(jobs)
+        by_name = {r.name: r for r in results.values()}
+        assert by_name["bad"].status is JobStatus.FAILED
+        assert "no-such" in by_name["bad"].error
+        assert by_name["ok"].status is JobStatus.SUCCEEDED
+        # An in-worker exception is captured in-process: no respawn needed.
+        assert pool.workers_spawned == 2
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="crash injection relies on fork inheriting the monkeypatch",
+    )
+    def test_dead_persistent_worker_is_respawned_and_job_failed(self, monkeypatch):
+        import repro.service.worker as worker_module
+
+        real = worker_module.execute_payload
+
+        def die_on_crasher(payload):
+            if payload["name"] == "crasher":
+                os._exit(13)
+            return real(payload)
+
+        monkeypatch.setattr(worker_module, "execute_payload", die_on_crasher)
+        jobs = [
+            SynthesisJob(name="crasher", term=_chain(2), priority=5),
+            SynthesisJob(name="survivor", term=_chain(3)),
+        ]
+        pool = WorkerPool(1, start_method="fork", persistent=True)
+        results = pool.run(jobs)
+        by_name = {r.name: r for r in results.values()}
+        assert by_name["crasher"].status is JobStatus.FAILED
+        assert "exit code 13" in by_name["crasher"].error
+        # The dead worker was replaced and the rest of the batch completed.
+        assert by_name["survivor"].status is JobStatus.SUCCEEDED
+        assert pool.workers_spawned == 2
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="crash injection relies on fork inheriting the monkeypatch",
+    )
+    def test_worker_dead_on_arrival_fails_the_job_not_the_batch(self, monkeypatch):
+        # Workers that die while *idle* (before accepting a job) must not
+        # sink the batch with a BrokenPipeError out of run(): the job is
+        # retried on replacements a bounded number of times, then FAILED.
+        import repro.service.worker as worker_module
+
+        monkeypatch.setattr(
+            worker_module, "_persistent_worker_loop", lambda conn: conn.close()
+        )
+        pool = WorkerPool(1, start_method="fork", persistent=True)
+        results = pool.run([SynthesisJob(name="doomed", term=_chain(2))])
+        (result,) = results.values()
+        assert result.status is JobStatus.FAILED
+        assert "worker died" in result.error
+
+    def test_hard_timeout_kills_and_respawns(self):
+        events = []
+        jobs = [
+            SynthesisJob(name="slow", term=gear_model(), timeout=0.25, priority=5),
+            SynthesisJob(name="quick", term=_chain(3)),
+        ]
+        pool = WorkerPool(1, persistent=True)
+        results = pool.run(jobs, on_event=events.append)
+        by_name = {r.name: r for r in results.values()}
+        assert by_name["slow"].status is JobStatus.TIMEOUT
+        assert "timeout" in by_name["slow"].error
+        assert by_name["quick"].status is JobStatus.SUCCEEDED
+        assert any(e.kind == "timeout" and e.name == "slow" for e in events)
+        # The killed worker's replacement ran the remaining job.
+        assert pool.workers_spawned == 2
+
+    def test_service_threads_persistent_flag(self, tmp_path):
+        jobs = [SynthesisJob(name=f"chain-{n}", term=_chain(n)) for n in (3, 4)]
+        report = SynthesisService(worker_count=2, persistent=True).run_batch(jobs)
+        assert not report.failed
+        assert report.worker_count == 2
+
+
+# ---------------------------------------------------------------------------
 # SynthesisService orchestration: cache-first, then dispatch
 # ---------------------------------------------------------------------------
 
