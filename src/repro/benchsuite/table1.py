@@ -22,11 +22,12 @@ from __future__ import annotations
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.benchsuite.suite import BENCHMARKS, Benchmark
 from repro.core.config import SynthesisConfig
 from repro.core.pipeline import SynthesisResult, synthesize
+from repro.lang.term import Term
 from repro.service.cache import ResultCache
 from repro.service.job import JobResult, JobStatus, SynthesisJob
 from repro.service.service import BatchReport, SynthesisService
@@ -144,12 +145,17 @@ def benchmark_jobs(
     benchmarks: Optional[Sequence[Benchmark]] = None,
     config: Optional[SynthesisConfig] = None,
     timeout: Optional[float] = None,
+    mutate: Optional[Callable[[Term], Term]] = None,
 ) -> Tuple[List[SynthesisJob], List[JobResult]]:
     """Build service jobs for a benchsuite selection.
 
     Returns ``(jobs, build_failures)``: a benchmark whose *builder* raises
     (before any synthesis happens) becomes a pre-failed :class:`JobResult`
     instead of aborting job creation for the rest of the selection.
+
+    ``mutate`` rewrites each built term before it becomes a job — the hook
+    the semantic-cache CI check uses to run the suite over semantically
+    equal respellings (see :mod:`repro.benchsuite.variants`).
     """
     jobs: List[SynthesisJob] = []
     failures: List[JobResult] = []
@@ -157,6 +163,8 @@ def benchmark_jobs(
         job_config = config or SynthesisConfig(cost_function=benchmark.cost_function)
         try:
             flat = benchmark.build()
+            if mutate is not None:
+                flat = mutate(flat)
         except Exception:
             failures.append(
                 JobResult(
@@ -210,6 +218,7 @@ def run_table1_batch(
     timeout: Optional[float] = None,
     on_event=None,
     persistent: bool = False,
+    mutate: Optional[Callable[[Term], Term]] = None,
 ) -> Table1Report:
     """Run the suite through the batch service.
 
@@ -223,7 +232,7 @@ def run_table1_batch(
     or timed out are reported in ``failures`` instead of as rows.
     """
     benchmarks = list(benchmarks or BENCHMARKS)
-    jobs, failures = benchmark_jobs(benchmarks, config, timeout=timeout)
+    jobs, failures = benchmark_jobs(benchmarks, config, timeout=timeout, mutate=mutate)
     service = SynthesisService(
         worker_count=worker_count, cache=cache, on_event=on_event, persistent=persistent
     )

@@ -1,0 +1,75 @@
+"""Semantically equal respellings of input terms.
+
+:func:`semantic_variant` rewrites a term into a *different spelling of the
+same design*: every integral numeric literal flips between its int and
+float spellings (``1`` ↔ ``1.0``), every commutative boolean's operands are
+swapped (``(Union a b)`` → ``(Union b a)``), and every ``Fun`` binder's
+parameters are renamed (``x`` → ``x_r``, with references updated).  Each of
+these is exactly a spelling the :mod:`repro.lang.normal` passes identify,
+so the variant has a different exact cache key but the *same* semantic key
+as the original.
+
+That is the property the semantic-cache CI check exercises: a warm
+``table1 --semantic-variants`` run over a cache populated by the unmutated
+suite must hit on every model — at the semantic level, never the exact one
+— and reproduce the cold run's rows byte for byte.
+
+The mutation is deterministic (no randomness), so repeated runs produce the
+same variant and the check is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lang.normal import COMMUTATIVE_OPS
+from repro.lang.term import Term
+
+#: Suffix appended to every ``Fun`` parameter name.  Appending the same
+#: suffix to *all* binders keeps the renaming injective on each scope chain
+#: (two in-scope names never collapse to one), so no variable capture can
+#: occur even with shadowing.
+_RENAME_SUFFIX = "_r"
+
+
+def semantic_variant(term: Term) -> Term:
+    """A semantically equal, syntactically different spelling of ``term``.
+
+    For terms with nothing to respell (no numerals, no commutative
+    booleans, no binders — e.g. a bare primitive) the result may equal the
+    input; every benchsuite model has at least one mutation point.
+    """
+    return _variant(term, {})
+
+
+def _variant(term: Term, env: Dict[str, str]) -> Term:
+    if term.is_number:
+        value = term.value
+        if isinstance(value, int):
+            return Term(float(value))
+        if value.is_integer() and abs(value) < 1e16:
+            return Term(int(value))
+        return term
+    if term.is_leaf:
+        return term
+    op = term.op
+    if op == "Var" and len(term.children) == 1:
+        ref = term.children[0]
+        if ref.is_leaf and isinstance(ref.op, str) and ref.op in env:
+            return Term("Var", (Term(env[ref.op]),))
+        return term
+    if op == "Fun" and len(term.children) >= 2:
+        *params, body = term.children
+        scope = dict(env)
+        renamed = []
+        for param in params:
+            if param.is_leaf and isinstance(param.op, str):
+                scope[param.op] = param.op + _RENAME_SUFFIX
+                renamed.append(Term(scope[param.op]))
+            else:
+                renamed.append(_variant(param, env))
+        return Term("Fun", (*renamed, _variant(body, scope)))
+    children = tuple(_variant(child, env) for child in term.children)
+    if op in COMMUTATIVE_OPS and len(children) == 2:
+        children = (children[1], children[0])
+    return Term(op, children)

@@ -15,7 +15,9 @@ global options threaded into :class:`~repro.core.config.SynthesisConfig`
 for ``synth`` (alias ``run``) and ``batch``.  ``table1`` and ``bench``
 deliberately keep the paper's per-benchmark default configuration so their
 rows stay comparable to Table 1.  ``--cache-max-mb`` bounds the disk tier
-of the result cache (LRU eviction by entry mtime).
+of the result cache (LRU eviction by entry mtime), and
+``--no-semantic-cache`` turns off its semantic (normalized-key) lookup
+level so only byte-identical inputs hit.
 """
 
 from __future__ import annotations
@@ -105,7 +107,11 @@ def _build_cache(args: argparse.Namespace) -> Optional[ResultCache]:
         if args.cache_max_mb <= 0:
             raise SystemExit("--cache-max-mb must be positive")
         max_bytes = int(args.cache_max_mb * 1024 * 1024)
-    return ResultCache(args.cache, max_bytes=max_bytes)
+    return ResultCache(
+        args.cache,
+        max_bytes=max_bytes,
+        semantic=not getattr(args, "no_semantic_cache", False),
+    )
 
 
 def _write_report(path: Optional[str], payload: dict) -> None:
@@ -140,17 +146,24 @@ def _cmd_flatten(args: argparse.Namespace) -> int:
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     cache = _build_cache(args)
+    mutate = None
+    if args.semantic_variants:
+        from repro.benchsuite.variants import semantic_variant
+
+        mutate = semantic_variant
     report = run_table1_batch(
         worker_count=args.jobs,
         cache=cache,
         on_event=_print_event if args.progress else None,
         persistent=args.persistent_workers,
+        mutate=mutate,
     )
     print(format_table(report.rows, report.failures))
     if cache is not None and report.batch is not None:
         print(
             f"-- cache: {report.batch.cache_hits}/{len(report.batch.results)} jobs served "
-            f"({report.batch.cache['hit_rate'] * 100.0:.0f}% of lookups hit)"
+            f"({report.batch.exact_hits} exact, {report.batch.semantic_hits} semantic; "
+            f"{report.batch.cache['hit_rate'] * 100.0:.0f}% of lookups hit)"
         )
     _write_report(args.report, report.to_dict())
     return 0 if report.ok else 1
@@ -220,7 +233,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     for failure in failures:
         print(f"FAILED {failure.name:<20} [{failure.status.value}] {failure.error_summary()}")
     hit_note = (
-        f", {batch.cache_hits} from cache ({batch.cache['hit_rate'] * 100.0:.0f}% hit rate)"
+        f", {batch.cache_hits} from cache "
+        f"({batch.exact_hits} exact, {batch.semantic_hits} semantic; "
+        f"{batch.cache['hit_rate'] * 100.0:.0f}% hit rate)"
         if cache is not None
         else ""
     )
@@ -320,6 +335,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-max-mb", type=float, default=None,
         help="evict least-recently-used disk cache entries beyond this size",
     )
+    table1.add_argument(
+        "--no-semantic-cache", action="store_true",
+        help="disable the cache's semantic (normalized-key) lookup level; "
+        "only byte-identical inputs hit",
+    )
+    table1.add_argument(
+        "--semantic-variants", action="store_true",
+        help="run the suite over semantically equal respellings of every "
+        "model (renamed parameters, reordered commutative operands, "
+        "respelled literals) — the semantic-cache CI check",
+    )
     table1.add_argument("--report", help="write a JSON report of the run")
     table1.add_argument(
         "--progress", action="store_true", help="stream per-model progress events"
@@ -353,6 +379,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--cache-max-mb", type=float, default=None,
         help="evict least-recently-used disk cache entries beyond this size",
+    )
+    batch.add_argument(
+        "--no-semantic-cache", action="store_true",
+        help="disable the cache's semantic (normalized-key) lookup level; "
+        "only byte-identical inputs hit",
     )
     batch.add_argument("--timeout", type=float, default=None, help="per-job timeout in seconds")
     batch.add_argument("--report", help="write a JSON batch report")

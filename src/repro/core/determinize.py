@@ -13,6 +13,11 @@ operators from the outside in), and then force every other element to a
 variant with the same signature, searching its e-class for one.  Elements
 whose class has no variant with that signature cause the whole signature to
 be abandoned and the next candidate signature to be tried.
+
+The affine-chain vocabulary, the per-term signature, and the
+longest-first candidate ordering all come from the shared semantic
+normalization layer (:mod:`repro.lang.normal`) — the same definitions the
+cache's semantic fingerprints are built on.
 """
 
 from __future__ import annotations
@@ -20,9 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.csg.ops import AFFINE_OPS, affine_chain
 from repro.egraph.egraph import EGraph, ENode
 from repro.egraph.extract import Extractor, ast_size_cost
+from repro.lang.normal import AFFINE_OPS, affine_signature, signature_sort_key
 from repro.lang.term import Term
 
 
@@ -96,7 +101,7 @@ class Determinizer:
         """
         signatures = set()
         self._collect_signatures(class_id, (), signatures, set())
-        ordered = sorted(signatures, key=lambda s: (-len(s), s))
+        ordered = sorted(signatures, key=signature_sort_key)
         return ordered or [()]
 
     def _collect_signatures(
@@ -170,8 +175,4 @@ class Determinizer:
 
 def chain_uniform(elements: Sequence[Term]) -> bool:
     """True when all elements share the same affine-operator signature."""
-    signatures = set()
-    for element in elements:
-        layers, _core = affine_chain(element)
-        signatures.add(tuple(op for op, _vector in layers))
-    return len(signatures) <= 1
+    return len({affine_signature(element) for element in elements}) <= 1

@@ -353,6 +353,35 @@ def _fold_rules() -> List[BaseRewrite]:
     return rules
 
 
+def _walk_chain(egraph: EGraph, first: int, rest: int, boolean: str) -> List[int]:
+    """The element classes of the right-nested ``boolean`` chain at a match.
+
+    Follows, from ``rest`` downward, the first ``(boolean _ _)`` e-node of
+    each class, accumulating left operands until a class without one (the
+    final element), a cycle, or the length cap.  This walk is the *only*
+    e-graph state the chain-fold applier reads beyond the match itself, so
+    its result doubles as the rule's dedup content key.
+    """
+    elements: List[int] = [egraph.find(first)]
+    current = egraph.find(rest)
+    visited = {current}
+    while True:
+        next_pair = None
+        for enode in egraph.nodes(current):
+            if enode.op == boolean and len(enode.args) == 2:
+                next_pair = (egraph.find(enode.args[0]), egraph.find(enode.args[1]))
+                break
+        if next_pair is None:
+            break
+        elements.append(next_pair[0])
+        current = next_pair[1]
+        if current in visited or len(elements) > 10_000:
+            break
+        visited.add(current)
+    elements.append(current)
+    return elements
+
+
 def _chain_fold_rule(boolean: str) -> DynamicRewrite:
     """Fold an entire right-nested chain of a binary operator in one firing.
 
@@ -361,26 +390,15 @@ def _chain_fold_rule(boolean: str) -> DynamicRewrite:
     big-step rule is derivable from them (it is the composition of one
     fold-intro with repeated fold-cons firings) and exists purely so the
     engine reaches the fully folded view within a couple of iterations.
+
+    The rule is impure — the walk enumerates whatever chain e-nodes
+    currently exist — but its ``content_key`` (the walked element list)
+    captures everything the applier reads, so the runner's ledger can skip
+    the per-epoch rescan of chains whose class contents are unchanged.
     """
 
     def applier(egraph: EGraph, _class_id: int, sub: Substitution) -> Optional[int]:
-        elements: List[int] = [egraph.find(sub["x"])]
-        current = egraph.find(sub["y"])
-        visited = {current}
-        while True:
-            next_pair = None
-            for enode in egraph.nodes(current):
-                if enode.op == boolean and len(enode.args) == 2:
-                    next_pair = (egraph.find(enode.args[0]), egraph.find(enode.args[1]))
-                    break
-            if next_pair is None:
-                break
-            elements.append(next_pair[0])
-            current = next_pair[1]
-            if current in visited or len(elements) > 10_000:
-                break
-            visited.add(current)
-        elements.append(current)
+        elements = _walk_chain(egraph, sub["x"], sub["y"], boolean)
         if len(elements) < 3:
             return None  # the small-step rules cover pairs
         spine = egraph.add_enode(ENode("Nil"))
@@ -390,8 +408,14 @@ def _chain_fold_rule(boolean: str) -> DynamicRewrite:
         accumulator = egraph.add_enode(ENode("Empty"))
         return egraph.add_enode(ENode("Fold", (function, accumulator, spine)))
 
+    def content_key(egraph: EGraph, _class_id: int, sub: Substitution) -> tuple:
+        return tuple(_walk_chain(egraph, sub["x"], sub["y"], boolean))
+
     return dynamic_rewrite(
-        f"fold-chain-{boolean.lower()}", f"({boolean} ?x ?y)", applier
+        f"fold-chain-{boolean.lower()}",
+        f"({boolean} ?x ?y)",
+        applier,
+        content_key=content_key,
     )
 
 

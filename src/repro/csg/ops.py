@@ -9,6 +9,11 @@ from __future__ import annotations
 
 from typing import Tuple
 
+# Affine transformations (each takes three numeric arguments and a child)
+# are defined once, by the semantic-normalization layer — its canonical-form
+# passes encode their algebra — and re-exported here for the rewrite rules,
+# determinizer, evaluators, and validators.
+from repro.lang.normal import AFFINE_OPS  # noqa: F401  (re-export)
 from repro.lang.term import Term
 
 #: Solid primitives (canonicalized: unit size, at the origin, axis-aligned).
@@ -20,9 +25,6 @@ CSG_PRIMITIVES: Tuple[str, ...] = (
     "Sphere",
     "Hexagon",
 )
-
-#: Affine transformations: each takes three numeric arguments and a child.
-AFFINE_OPS: Tuple[str, ...] = ("Translate", "Scale", "Rotate")
 
 #: Binary boolean (set) operators.
 BOOLEAN_OPS: Tuple[str, ...] = ("Union", "Diff", "Inter")

@@ -221,6 +221,16 @@ class DynamicRewrite(BaseRewrite):
     enter the dedup ledger.  (``None`` outcomes are always re-examined,
     pure or not — see :meth:`apply_match_checked`.)  The default (impure)
     is always safe.
+
+    ``content_key`` is the middle ground for impure rules: a function
+    ``(egraph, class_id, substitution) -> hashable`` that captures
+    *everything* the guard and applier read beyond the canonical ids — for
+    the chain-folding rule, the walked list's class contents.  The runner
+    then keeps a ``fingerprint -> content`` ledger and skips a match only
+    while its content key is unchanged, so *any* outcome (including
+    ``None``) may be ledgered: if re-running could differ, the key differs.
+    The contract is strict — a key that misses one applier-visible input
+    turns skipped epochs into missed rewrites.
     """
 
     name: str
@@ -228,10 +238,12 @@ class DynamicRewrite(BaseRewrite):
     applier: Applier
     guard: Optional[Guard] = None
     pure: bool = False
+    #: See the class docstring; ``(egraph, class_id, substitution) -> hashable``.
+    content_key: Optional[Callable[[EGraph, int, Substitution], object]] = None
 
     @property
     def deduplicable(self) -> bool:
-        return self.pure
+        return self.pure or self.content_key is not None
 
     def search(self, egraph: EGraph) -> List[RewriteMatch]:
         return [RewriteMatch(cid, sub) for cid, sub in search(egraph, self.lhs)]
@@ -281,13 +293,26 @@ def rewrite(
 
 
 def dynamic_rewrite(
-    name: str, lhs: str, applier: Applier, *, guard: Optional[Guard] = None, pure: bool = False
+    name: str,
+    lhs: str,
+    applier: Applier,
+    *,
+    guard: Optional[Guard] = None,
+    pure: bool = False,
+    content_key: Optional[Callable[[EGraph, int, Substitution], object]] = None,
 ) -> DynamicRewrite:
     """Construct a dynamic rewrite from s-expression pattern text and an applier.
 
     Pass ``pure=True`` only when the applier's outcome depends solely on the
-    canonical ids bound by the match (see :class:`DynamicRewrite`).
+    canonical ids bound by the match; pass ``content_key`` for an impure
+    rule whose extra inputs can be fingerprinted (see
+    :class:`DynamicRewrite`).
     """
     return DynamicRewrite(
-        name=name, lhs=parse_pattern(lhs), applier=applier, guard=guard, pure=pure
+        name=name,
+        lhs=parse_pattern(lhs),
+        applier=applier,
+        guard=guard,
+        pure=pure,
+        content_key=content_key,
     )

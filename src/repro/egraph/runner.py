@@ -302,8 +302,10 @@ class Runner:
         #: Apply-phase deduplication (see the module docstring); on by
         #: default, switchable off for ablations/differential testing.
         self.dedup = True if dedup is None else dedup
-        #: rule name -> set of executed canonical fingerprints; reset per run.
-        self._ledgers: Dict[str, set] = {}
+        #: rule name -> executed canonical fingerprints; reset per run.  A
+        #: plain set for pure/syntactic rules, a fingerprint->content dict
+        #: for content-keyed dynamic rules.
+        self._ledgers: Dict[str, object] = {}
         self._ledger_stamp = -1
         #: The matcher of the most recent :meth:`run` (post-run inspection).
         self.matcher: Optional[IncrementalMatcher] = None
@@ -375,20 +377,33 @@ class Runner:
         stop: Optional[StopReason] = None
         for rule, matches in searched:
             ledger = self._ledgers.get(rule.name)
+            content_key = getattr(rule, "content_key", None) if ledger is not None else None
             apply_checked = rule.apply_match_checked
             fired = skipped = applied = 0
             for match in matches:
+                content = None
                 if ledger is not None:
                     # Fast path: the match was confirmed in the ledger and no
                     # union has happened since.  (The incremental matcher
                     # serves the same objects every epoch, so a quiescent
                     # tail iteration takes this branch for nearly every
-                    # match.)
+                    # match.)  Sound for content-keyed rules too: class
+                    # contents only ever change through unions, so an
+                    # unchanged union version means an unchanged content key.
                     if match.skip_stamp == union_version:
                         skipped += 1
                         continue
                     fingerprint = match.fingerprint(egraph)
-                    if fingerprint in ledger:
+                    if content_key is not None:
+                        # Content-keyed ledger (a dict): skip only while the
+                        # rule's extra inputs hash the same as when the match
+                        # was last examined.
+                        content = content_key(egraph, match.class_id, match.substitution)
+                        if ledger.get(fingerprint) == content:
+                            match.skip_stamp = union_version
+                            skipped += 1
+                            continue
+                    elif fingerprint in ledger:
                         match.skip_stamp = union_version
                         skipped += 1
                         continue
@@ -403,10 +418,20 @@ class Runner:
                     union_version = union_find.version
                 if executed:
                     applied += 1
-                    if ledger is not None:
-                        ledger.add(fingerprint)
-                        if not changed:
-                            match.skip_stamp = union_version
+                if content_key is not None:
+                    # Every outcome is ledgered — the content key captures
+                    # all applier-visible inputs, so even a None/guarded
+                    # outcome is stable until the key changes.  (A changed
+                    # application may itself move the walked contents; the
+                    # stale stored key then forces one re-examination next
+                    # epoch, which converges.)
+                    ledger[fingerprint] = content
+                    if not changed:
+                        match.skip_stamp = union_version
+                elif executed and ledger is not None:
+                    ledger.add(fingerprint)
+                    if not changed:
+                        match.skip_stamp = union_version
                 if changed:
                     fired += 1
             if fired:
@@ -457,7 +482,12 @@ class Runner:
         parents = egraph._union_find.parents
         canonical = self._fingerprint_canonical
         for name, ledger in self._ledgers.items():
-            self._ledgers[name] = {fp for fp in ledger if canonical(parents, fp)}
+            if isinstance(ledger, dict):
+                self._ledgers[name] = {
+                    fp: content for fp, content in ledger.items() if canonical(parents, fp)
+                }
+            else:
+                self._ledgers[name] = {fp for fp in ledger if canonical(parents, fp)}
 
     # -- driver -------------------------------------------------------------------
 
@@ -471,8 +501,14 @@ class Runner:
         # previous consumer (mutations between runs are then irrelevant).
         self.matcher = IncrementalMatcher(self.compiled) if self.incremental else None
         # Fresh ledgers per run: fingerprints embed this graph's class ids.
+        # Content-keyed rules get a dict (fingerprint -> content key);
+        # everything else a plain set of executed fingerprints.
         self._ledgers = (
-            {rule.name: set() for rule in self.rules if rule.deduplicable}
+            {
+                rule.name: ({} if getattr(rule, "content_key", None) is not None else set())
+                for rule in self.rules
+                if rule.deduplicable
+            }
             if self.dedup
             else {}
         )

@@ -1,18 +1,34 @@
 """Generic language infrastructure shared by CSG and LambdaCAD.
 
 This package provides the immutable :class:`~repro.lang.term.Term`
-representation used everywhere in the reproduction, plus an s-expression
+representation used everywhere in the reproduction, an s-expression
 reader/printer compatible with the serialization format the paper uses
-(Janestreet-style s-expressions).
+(Janestreet-style s-expressions), and the semantic-normalization pipeline
+(:mod:`repro.lang.normal`) the cache keys, fingerprints, and determinizer
+share.
 """
 
 from repro.lang.canon import (
     canonical_term_text,
     fingerprint_bytes,
     fingerprint_text,
+    normalized_term_text,
     payload_fingerprint,
+    semantic_fingerprint,
     term_fingerprint,
     term_from_canonical,
+)
+from repro.lang.normal import (
+    AFFINE_OPS,
+    COMMUTATIVE_OPS,
+    DEFAULT_PASSES,
+    NormalizationPass,
+    affine_signature,
+    canonical_number,
+    canonical_number_value,
+    normalize,
+    signature_sort_key,
+    term_order_key,
 )
 from repro.lang.sexp import Sexp, parse_sexp, parse_many, format_sexp, SexpError
 from repro.lang.term import Term, TermError
@@ -31,4 +47,16 @@ __all__ = [
     "fingerprint_bytes",
     "fingerprint_text",
     "payload_fingerprint",
+    "normalized_term_text",
+    "semantic_fingerprint",
+    "AFFINE_OPS",
+    "COMMUTATIVE_OPS",
+    "DEFAULT_PASSES",
+    "NormalizationPass",
+    "affine_signature",
+    "canonical_number",
+    "canonical_number_value",
+    "normalize",
+    "signature_sort_key",
+    "term_order_key",
 ]

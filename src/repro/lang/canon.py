@@ -25,6 +25,14 @@ direction for a cache key — the int and float spellings of a model render
 differently in output programs, so collapsing them could serve a cached
 result whose pretty-printed form differs from a fresh run's; keeping them
 apart costs at most a spurious miss.
+
+On top of the exact tier sits the *semantic* tier: :func:`semantic_fingerprint`
+hashes the term after the :mod:`repro.lang.normal` pipeline has run, so
+spellings the normalization passes identify — reordered commutative
+operands, alpha-renamed parameters, ``1`` vs ``1.0`` literals, collapsed
+affine chains — share one fingerprint.  The result cache consults it only
+after the exact key misses (see :mod:`repro.service.cache`), so the exact
+tier's behavior is unchanged.
 """
 
 from __future__ import annotations
@@ -69,6 +77,31 @@ def fingerprint_text(text: str) -> str:
 def term_fingerprint(term: Term) -> str:
     """Content-address of a term: the digest of its canonical text."""
     return fingerprint_text(canonical_term_text(term))
+
+
+def normalized_term_text(term: Term) -> str:
+    """Canonical text of the semantically normalized term.
+
+    The key material of the cache's semantic tier: every spelling the
+    :mod:`repro.lang.normal` passes identify renders to this one text.
+    """
+    from repro.lang.normal import normalize
+
+    return canonical_term_text(normalize(term))
+
+
+def semantic_fingerprint(term: Term, config) -> str:
+    """Content-address of a (term, config) pair modulo normalization.
+
+    ``sha256(normalized text fingerprint : config fingerprint)`` — the same
+    shape as the exact cache key, with the term fingerprint replaced by the
+    normalized one.  ``config`` is any object with a ``fingerprint()`` of
+    its semantic fields (:class:`~repro.core.config.SynthesisConfig`; typed
+    loosely so the language layer does not import the core layer).
+    """
+    return fingerprint_text(
+        f"{fingerprint_text(normalized_term_text(term))}:{config.fingerprint()}"
+    )
 
 
 def payload_fingerprint(payload: Any) -> str:

@@ -1,0 +1,423 @@
+"""Semantic normalization: the shared canonical-form layer for terms.
+
+Szalinski's premise is that syntactically different CSG programs are often
+semantically equal; this module writes that premise down as reusable code.
+It provides a pipeline of composable, idempotent passes over
+:class:`~repro.lang.term.Term`\\ s — each pass maps semantically equal
+spellings of a construct onto one canonical spelling — plus the
+affine-chain signature helpers the determinizer shares.
+
+The default pipeline (:data:`DEFAULT_PASSES`, applied by :func:`normalize`)
+runs, in order:
+
+1. **numeric-literals** — every integral-valued float literal becomes the
+   int spelling (``1.0`` -> ``1``, ``-0.0`` -> ``0``); non-integral floats
+   are untouched (their ``repr`` round-trips exactly).  This mirrors the
+   e-graph's :class:`~repro.egraph.symbols.SymbolTable`, which already
+   interns ``1`` and ``1.0`` as one symbol.
+2. **affine-canonical** — nested affine transformations are rewritten to
+   the canonical chain the rewrite rules themselves can derive: adjacent
+   same-operator layers are fused (translation vectors added, scale
+   factors multiplied, same-axis rotation angles summed — Fig. 8c),
+   ``Scale`` and axis-aligned ``Rotate`` layers are commuted below
+   ``Translate`` with their vectors recomputed (Fig. 8b), and identity
+   layers (``Translate 0 0 0`` / ``Scale 1 1 1`` / ``Rotate 0 0 0``) are
+   dropped.  Arithmetic lands on the same 9-decimal grid the dynamic
+   rules' ``_add_number`` uses, so normalization never invents values the
+   e-graph would not.
+3. **alpha-rename** — ``Fun``-bound parameter names (and their
+   ``(Var name)`` references) become positional de Bruijn-style names
+   ``$0``, ``$1``, ... numbered by binder position, so alpha-equivalent
+   programs render identically.  Free names — primitives, loop-free
+   symbols, ``External`` placeholders — are never touched: two differently
+   named opaque solids are semantically distinct.
+4. **commutative-sort** — chains of the commutative set operators
+   (``Union``/``Inter``) are flattened through nested same-operator
+   applications, sorted under a total term order (:func:`term_order_key`:
+   numeric leaves by value, symbols lexically, composites by operator then
+   children), and rebuilt right-nested (the ``union_all`` shape the
+   fold-introduction rules look for).  Ordering numerals *by value* rather
+   than by rendered text matters: lexicographic text puts ``10`` before
+   ``2``, which scrambles the arithmetic progressions the loop solvers
+   read off element chains.  ``Diff`` is not commutative and is left
+   alone.
+
+The pass *order* is what makes the whole pipeline idempotent, not just
+each pass: alpha-renaming runs before the sort so operand order is decided
+by names no later pass will change (binder numbering depends only on
+``Fun`` nesting depth, never on operand order inside a body, so sorting
+cannot un-canonicalize the names).  ``tests/test_normal.py`` pins
+idempotence of every pass and of the pipeline, plus semantics
+preservation over the bundled models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence, Tuple, Union
+
+from repro.lang.term import Term
+
+#: Affine transformation operators: three numeric arguments plus a child.
+#: This is the vocabulary's single source of truth — ``repro.csg.ops``
+#: re-exports it.
+AFFINE_OPS: Tuple[str, ...] = ("Translate", "Scale", "Rotate")
+
+#: The commutative binary set operators (``Diff`` is order-sensitive).
+COMMUTATIVE_OPS: Tuple[str, ...] = ("Union", "Inter")
+
+#: Prefix of the canonical (de Bruijn-style) bound-parameter names.  The
+#: ``$`` sigil cannot appear in names produced by the OpenSCAD frontend or
+#: the loop-inference components, so renaming into this namespace cannot
+#: capture a free program variable.
+CANONICAL_PARAM_PREFIX = "$"
+
+#: Identity argument vectors per affine operator (dropping the layer is a
+#: semantic no-op).
+_IDENTITY_VECTOR: Dict[str, Tuple[float, float, float]] = {
+    "Translate": (0.0, 0.0, 0.0),
+    "Scale": (1.0, 1.0, 1.0),
+    "Rotate": (0.0, 0.0, 0.0),
+}
+
+
+# ---------------------------------------------------------------------------
+# Numeric spelling
+# ---------------------------------------------------------------------------
+
+
+def canonical_number_value(value: Union[int, float]) -> Union[int, float]:
+    """The canonical spelling of a numeric value: int when integral.
+
+    ``1.0`` -> ``1``, ``-0.0`` -> ``0``, ``2.5`` -> ``2.5``.  Mirrors the
+    e-graph symbol table's ``1 == 1.0`` sharing, so a term and its image in
+    the e-graph agree about which literals are the same.
+    """
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e16:
+        return int(value)
+    return value
+
+
+def canonical_number(value: Union[int, float]) -> Term:
+    """A numeric literal term in canonical spelling."""
+    return Term(canonical_number_value(value))
+
+
+def _grid(value: float) -> Union[int, float]:
+    """Round to the dynamic rules' 9-decimal grid, canonically spelled."""
+    return canonical_number_value(round(value, 9))
+
+
+# ---------------------------------------------------------------------------
+# Affine-chain queries (shared with the determinizer)
+# ---------------------------------------------------------------------------
+
+
+def is_affine_node(term: Term) -> bool:
+    """True for a structurally well-formed affine application."""
+    return term.op in AFFINE_OPS and len(term.children) == 4
+
+
+def _numeric_vector(term: Term):
+    """The (x, y, z) float vector of an affine node, or None if symbolic."""
+    values = []
+    for child in term.children[:3]:
+        if not child.is_number:
+            return None
+        values.append(float(child.value))
+    return tuple(values)
+
+
+def affine_signature(term: Term) -> Tuple[str, ...]:
+    """The affine-operator chain of a term, outermost first.
+
+    Descent stops at the first non-affine node *or* the first affine node
+    with a symbolic (non-numeric) vector — the layer-by-layer vector
+    extraction the signature exists for cannot see past either.
+    """
+    signature: List[str] = []
+    current = term
+    while is_affine_node(current) and _numeric_vector(current) is not None:
+        signature.append(str(current.op))
+        current = current.children[3]
+    return tuple(signature)
+
+
+def signature_sort_key(signature: Sequence[str]) -> Tuple[int, Tuple[str, ...]]:
+    """Sort key ordering affine signatures longest-first, then lexically.
+
+    Longer signatures expose more layers to the function solvers (a
+    ``Translate . Rotate . Scale`` chain gives three solvable layers; its
+    collapsed variants give fewer), so the determinizer tries them first.
+    """
+    signature = tuple(signature)
+    return (-len(signature), signature)
+
+
+# ---------------------------------------------------------------------------
+# The pass framework
+# ---------------------------------------------------------------------------
+
+
+class NormalizationPass:
+    """One named, idempotent term-to-term transformation."""
+
+    def __init__(self, name: str, fn: Callable[[Term], Term]):
+        self.name = name
+        self._fn = fn
+
+    def __call__(self, term: Term) -> Term:
+        return self._fn(term)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NormalizationPass({self.name!r})"
+
+
+# -- pass 1: numeric literal unification --------------------------------------
+
+
+def _numeric_literals(term: Term) -> Term:
+    def unify(node: Term) -> Term:
+        if node.is_number:
+            canonical = canonical_number_value(node.value)
+            # ``1.0 == 1`` yet the spellings are distinct terms for the
+            # exact tier; rebuild only when the spelling actually changes.
+            if type(canonical) is not type(node.op):
+                return Term(canonical)
+        return node
+
+    return term.map_bottom_up(unify)
+
+
+# -- pass 2: affine canonical forms -------------------------------------------
+
+
+def _is_identity(op: str, vector: Tuple[float, float, float]) -> bool:
+    return vector == _IDENTITY_VECTOR[op]
+
+
+def _rotation_axis(vector: Tuple[float, float, float]):
+    """The single active axis index of an axis-aligned rotation, or None."""
+    active = [i for i, component in enumerate(vector) if component != 0.0]
+    return active[0] if len(active) == 1 else None
+
+
+def _rotate_vector(axis: int, theta: float, vector: Tuple[float, float, float]):
+    """Rotate ``vector`` by ``theta`` degrees around coordinate ``axis``."""
+    radians = math.radians(theta)
+    c, s = math.cos(radians), math.sin(radians)
+    x, y, z = vector
+    if axis == 0:
+        return (x, y * c - z * s, y * s + z * c)
+    if axis == 1:
+        return (x * c + z * s, y, -x * s + z * c)
+    return (x * c - y * s, x * s + y * c, z)
+
+
+def _affine(op: str, vector: Sequence[float], child: Term) -> Term:
+    coords = tuple(Term(_grid(component)) for component in vector)
+    return Term(op, coords + (child,))
+
+
+def _canonical_affine_step(node: Term):
+    """One local affine rewrite at ``node``, or None when already canonical.
+
+    Only transformations the rewrite-rule database itself derives (plus
+    identity elimination) are performed, so the canonical form stays inside
+    the e-classes saturation explores anyway.
+    """
+    if not is_affine_node(node):
+        return None
+    vector = _numeric_vector(node)
+    if vector is None:
+        return None
+    op = str(node.op)
+    child = node.children[3]
+    if _is_identity(op, vector):
+        return child
+
+    if is_affine_node(child):
+        child_vector = _numeric_vector(child)
+        if child_vector is not None:
+            child_op = str(child.op)
+            grandchild = child.children[3]
+            # Fig. 8c: fuse adjacent same-operator layers.
+            if child_op == op == "Translate":
+                return _affine(op, [a + b for a, b in zip(vector, child_vector)], grandchild)
+            if child_op == op == "Scale":
+                return _affine(op, [a * b for a, b in zip(vector, child_vector)], grandchild)
+            if child_op == op == "Rotate":
+                axis = _rotation_axis(vector)
+                if axis is not None and axis == _rotation_axis(child_vector):
+                    summed = [0.0, 0.0, 0.0]
+                    summed[axis] = vector[axis] + child_vector[axis]
+                    return _affine(op, summed, grandchild)
+            # Fig. 8b: push Translate outward (the orientations with no
+            # division, mirroring reorder-scale-translate and
+            # reorder-rotate*-translate).
+            if op == "Scale" and child_op == "Translate":
+                inner = _affine("Scale", vector, grandchild)
+                return _affine(
+                    "Translate", [s * t for s, t in zip(vector, child_vector)], inner
+                )
+            if op == "Rotate" and child_op == "Translate":
+                axis = _rotation_axis(vector)
+                if axis is not None:
+                    inner = _affine("Rotate", vector, grandchild)
+                    return _affine(
+                        "Translate", _rotate_vector(axis, vector[axis], child_vector), inner
+                    )
+    return None
+
+
+def _affine_canonical(term: Term) -> Term:
+    def step(node: Term) -> Term:
+        # Iterate locally: a fused or commuted layer can expose the next
+        # opportunity at the same position (e.g. the Translate surfaced by
+        # a swap meeting the Translate above it).
+        while True:
+            rewritten = _canonical_affine_step(node)
+            if rewritten is None:
+                return node
+            node = rewritten
+
+    # Bottom-up with a local fixpoint at each node handles almost every
+    # chain in one traversal; the outer loop catches rewrites that expose
+    # work *above* an already-visited position.  Termination: every step
+    # either shrinks the term or strictly moves a Translate outward past a
+    # non-Translate layer, and no step does the reverse.
+    for _ in range(term.size() + 8):
+        rewritten = term.map_bottom_up(step)
+        if rewritten == term:
+            return term
+        term = rewritten
+    return term  # pragma: no cover - unreachable by the termination measure
+
+
+# -- pass 3: alpha-renaming of bound parameters --------------------------------
+
+
+def _alpha_rename(term: Term) -> Term:
+    def rename(node: Term, env: Dict[str, str], depth: int) -> Term:
+        if node.op == "Fun" and len(node.children) >= 2:
+            *params, body = node.children
+            scope = dict(env)
+            renamed_params: List[Term] = []
+            level = depth
+            for param in params:
+                if param.is_leaf and isinstance(param.op, str):
+                    canonical = f"{CANONICAL_PARAM_PREFIX}{level}"
+                    scope[param.op] = canonical
+                    renamed_params.append(Term(canonical))
+                    level += 1
+                else:  # malformed binder; leave it alone
+                    renamed_params.append(rename(param, env, depth))
+            return Term("Fun", tuple(renamed_params) + (rename(body, scope, level),))
+        if (
+            node.op == "Var"
+            and len(node.children) == 1
+            and node.children[0].is_leaf
+            and isinstance(node.children[0].op, str)
+        ):
+            bound = env.get(node.children[0].op)
+            if bound is not None and bound != node.children[0].op:
+                return Term("Var", (Term(bound),))
+            return node
+        if node.is_leaf:
+            return node
+        return Term(node.op, tuple(rename(child, env, depth) for child in node.children))
+
+    return rename(term, {}, 0)
+
+
+# -- pass 4: commutative-operand sorting ---------------------------------------
+
+
+def term_order_key(term: Term) -> tuple:
+    """A total-order sort key over terms.
+
+    Numeric leaves order by value, before everything else; symbols and
+    composites order by operator text, then recursively by children.  Key
+    equality coincides with term equality up to the ``-0.0``/``0.0``
+    identification, so a stable sort under this key is deterministic.
+
+    The key has two levels.  The primary level reads every numeral on a
+    2-decimal grid — an order of magnitude above the solvers' default 1e-3
+    noise tolerance, so scan noise cannot straddle it — which keeps a noisy
+    scanned model (the paper's reverse-engineered inputs) in the row-major
+    element order of its *latent* grid positions: deciding on exact values
+    would let sub-epsilon noise flip near-equal leading coordinates and
+    scramble the arithmetic progressions the solvers read off element
+    chains.  The secondary level re-reads the whole term exactly (values,
+    then int-before-float spelling), so the order stays total and
+    input-order independent — sorting is deterministic and idempotent even
+    among terms the grid cannot tell apart.
+    """
+    return (_rounded_key(term), _exact_key(term))
+
+
+def _rounded_key(term: Term) -> tuple:
+    if term.is_number:
+        return (0, round(float(term.value), 2))
+    return (1, str(term.op), tuple(_rounded_key(child) for child in term.children))
+
+
+def _exact_key(term: Term) -> tuple:
+    if term.is_number:
+        return (0, float(term.value), 0 if isinstance(term.op, int) else 1)
+    return (1, str(term.op), tuple(_exact_key(child) for child in term.children))
+
+
+def _flatten_chain(term: Term, op) -> List[Term]:
+    """All operands of a nested binary ``op`` application, left to right."""
+    operands: List[Term] = []
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if node.op == op and len(node.children) == 2:
+            stack.append(node.children[1])
+            stack.append(node.children[0])
+        else:
+            operands.append(node)
+    return operands
+
+
+def _commutative_sort(term: Term) -> Term:
+    def sort(node: Term) -> Term:
+        if node.op in COMMUTATIVE_OPS and len(node.children) == 2:
+            operands = [sort(operand) for operand in _flatten_chain(node, node.op)]
+            operands.sort(key=term_order_key)
+            result = operands[-1]
+            for operand in reversed(operands[:-1]):
+                result = Term(node.op, (operand, result))
+            return result
+        if node.is_leaf:
+            return node
+        return Term(node.op, tuple(sort(child) for child in node.children))
+
+    return sort(term)
+
+
+# ---------------------------------------------------------------------------
+# The default pipeline
+# ---------------------------------------------------------------------------
+
+NUMERIC_LITERALS = NormalizationPass("numeric-literals", _numeric_literals)
+AFFINE_CANONICAL = NormalizationPass("affine-canonical", _affine_canonical)
+ALPHA_RENAME = NormalizationPass("alpha-rename", _alpha_rename)
+COMMUTATIVE_SORT = NormalizationPass("commutative-sort", _commutative_sort)
+
+#: The full pipeline, in the order the module docstring motivates.
+DEFAULT_PASSES: Tuple[NormalizationPass, ...] = (
+    NUMERIC_LITERALS,
+    AFFINE_CANONICAL,
+    ALPHA_RENAME,
+    COMMUTATIVE_SORT,
+)
+
+
+def normalize(term: Term, passes: Sequence[NormalizationPass] = DEFAULT_PASSES) -> Term:
+    """Apply the normalization pipeline (idempotent as a whole)."""
+    for normalization_pass in passes:
+        term = normalization_pass(term)
+    return term

@@ -143,6 +143,12 @@ def _format_atom(atom: Sexp) -> str:
         # Render floats without exponent noise where possible; keep integral
         # floats distinguishable from ints (the languages treat both as R).
         if atom == int(atom) and abs(atom) < 1e16:
+            # IEEE negative zero compares equal to 0.0 (and hashes the same),
+            # so Term(-0.0) == Term(0.0); rendering the sign would give two
+            # equal terms distinct canonical texts — and therefore distinct
+            # cache fingerprints — violating structural determinism.
+            if atom == 0.0:
+                return "0.0"
             return f"{atom:.1f}"
         return repr(atom)
     return str(atom)

@@ -25,6 +25,19 @@ eviction candidates are drained from the last scan's mtime-ordered queue
 (stale candidates — touched since the scan — are skipped, and the queue is
 rebuilt only when it runs dry), so puts stay amortized O(1) even at the
 cap.
+
+**Semantic tier.**  On top of the exact key sits a second lookup level
+keyed by :func:`semantic_cache_key` — the fingerprint of the input term
+after the :mod:`repro.lang.normal` pipeline (commutative sorting,
+alpha-renaming, numeric-literal unification, affine canonical forms).  A
+semantic entry is a *pointer* to an exact entry (on disk: a tiny JSON file
+under ``<directory>/sem/``), so the payload is stored once and the exact
+tier's behavior — keys, layout, eviction — is completely unchanged.
+:meth:`ResultCache.lookup` probes the exact key first and falls back to
+the semantic key only on a miss; hits are counted separately
+(``exact_hits``/``semantic_hits``).  A pointer whose exact entry was
+evicted simply misses (and is dropped).  ``semantic=False`` disables the
+tier entirely (the CLI's ``--no-semantic-cache``).
 """
 
 from __future__ import annotations
@@ -36,13 +49,24 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.core.config import SynthesisConfig
-from repro.lang.canon import fingerprint_text, term_fingerprint
+from repro.lang.canon import fingerprint_text, semantic_fingerprint, term_fingerprint
 from repro.lang.term import Term
 
 
 def cache_key(term: Term, config: SynthesisConfig) -> str:
     """The content-address of a (input term, synthesis config) pair."""
     return fingerprint_text(f"{term_fingerprint(term)}:{config.fingerprint()}")
+
+
+def semantic_cache_key(term: Term, config: SynthesisConfig) -> str:
+    """The content-address modulo semantic normalization (second-level key).
+
+    Same shape as :func:`cache_key` with the exact term fingerprint
+    replaced by the normalized one — an input that is already in normal
+    form has equal exact and semantic keys, which is harmless because the
+    two tiers live in separate namespaces.
+    """
+    return semantic_fingerprint(term, config)
 
 
 class ResultCache:
@@ -66,12 +90,19 @@ class ResultCache:
         memory_capacity: int = 128,
         max_entries: Optional[int] = None,
         max_bytes: Optional[int] = None,
+        semantic: bool = True,
     ):
         self.directory = Path(directory) if directory is not None else None
         self.memory_capacity = memory_capacity
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        #: Whether the semantic (normalized-key) lookup level is enabled.
+        self.semantic = semantic
         self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        #: Memory-side semantic pointers: semantic key -> exact key.  An
+        #: LRU like the payload tier, but entries are two small strings, so
+        #: it can afford a larger capacity.
+        self._semantic_memory: "OrderedDict[str, str]" = OrderedDict()
         #: Lazily scanned (entry count, total bytes) of the disk tier;
         #: None until the first operation that needs it.
         self._disk_usage: Optional[Tuple[int, int]] = None
@@ -82,13 +113,20 @@ class ResultCache:
         self.misses = 0
         self.memory_hits = 0
         self.disk_hits = 0
+        self.exact_hits = 0
+        self.semantic_hits = 0
         self.stores = 0
         self.evictions = 0
 
     # -- lookup ---------------------------------------------------------------
 
-    def get(self, key: str) -> Optional[dict]:
-        """The stored payload for ``key``, or None (counted as a miss)."""
+    def _probe(self, key: str) -> Optional[dict]:
+        """Read ``key`` from memory or disk without touching hit/miss totals.
+
+        The memory/disk *origin* counters are maintained here; the callers
+        (:meth:`get`, :meth:`lookup`) decide whether the probe amounts to an
+        exact hit, a semantic hit, or a miss.
+        """
         payload = self._memory.get(key)
         if payload is not None:
             self._memory.move_to_end(key)
@@ -98,23 +136,71 @@ class ResultCache:
                 # hot entry would be evicted from disk while being served
                 # from memory and then miss in the next process.
                 self._touch(self._path(key))
-            self.hits += 1
             self.memory_hits += 1
             return payload
         payload = self._read_disk(key)
         if payload is not None:
             self._remember(key, payload)
-            self.hits += 1
             self.disk_hits += 1
+            return payload
+        return None
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or None (counted as a miss).
+
+        Exact-tier only — the pre-semantic API, kept verbatim so existing
+        callers see identical behavior.  Use :meth:`lookup` to consult the
+        semantic level as well.
+        """
+        payload = self._probe(key)
+        if payload is not None:
+            self.hits += 1
+            self.exact_hits += 1
             return payload
         self.misses += 1
         return None
 
-    def put(self, key: str, payload: dict) -> None:
-        """Store ``payload`` under ``key`` in both tiers."""
+    def lookup(
+        self, key: str, semantic_key: Optional[str] = None
+    ) -> Tuple[Optional[dict], Optional[str]]:
+        """Two-level read: ``(payload, tier)`` with tier ``"exact"``,
+        ``"semantic"``, or ``None`` on a miss.
+
+        The exact key is the fast path; the semantic key is consulted only
+        when the exact probe misses (and only when the tier is enabled), so
+        inputs that hit exactly never pay the pointer indirection.
+        """
+        payload = self._probe(key)
+        if payload is not None:
+            self.hits += 1
+            self.exact_hits += 1
+            return payload, "exact"
+        if self.semantic and semantic_key is not None:
+            exact_key = self._resolve_semantic(semantic_key)
+            if exact_key is not None:
+                payload = self._probe(exact_key)
+                if payload is not None:
+                    self.hits += 1
+                    self.semantic_hits += 1
+                    return payload, "semantic"
+                # Dangling pointer: the exact entry was evicted (or removed
+                # as corrupt).  Drop the pointer so the next store rebinds.
+                self._drop_semantic(semantic_key)
+        self.misses += 1
+        return None, None
+
+    def put(self, key: str, payload: dict, semantic_key: Optional[str] = None) -> None:
+        """Store ``payload`` under ``key`` in both tiers.
+
+        With a ``semantic_key`` (and the tier enabled), additionally bind
+        that key to ``key`` so semantically equal inputs find this entry.
+        """
         self._remember(key, payload)
         self._write_disk(key, payload)
         self.stores += 1
+        if self.semantic and semantic_key is not None:
+            self._remember_semantic(semantic_key, key)
+            self._write_semantic(semantic_key, key)
 
     def __contains__(self, key: str) -> bool:
         """Presence check that does not touch the hit/miss counters."""
@@ -134,6 +220,69 @@ class ResultCache:
         if self.directory is None:
             return None
         return self.directory / key[:2] / f"{key}.json"
+
+    # -- semantic tier ---------------------------------------------------------
+
+    def _semantic_path(self, semantic_key: str) -> Optional[Path]:
+        """Disk location of a semantic pointer file.
+
+        Pointers live one level deeper than payload entries
+        (``sem/<shard>/<key>.json`` is three components below the cache
+        directory, payloads are two), so the exact tier's ``*/*.json``
+        globs — usage scan, eviction, ``disk_entries`` — never see them and
+        the bounded-cache accounting is byte-for-byte what it was before
+        the semantic tier existed.
+        """
+        if self.directory is None:
+            return None
+        return self.directory / "sem" / semantic_key[:2] / f"{semantic_key}.json"
+
+    def _remember_semantic(self, semantic_key: str, exact_key: str) -> None:
+        if self.memory_capacity <= 0:
+            return
+        self._semantic_memory[semantic_key] = exact_key
+        self._semantic_memory.move_to_end(semantic_key)
+        # Pointers are two short strings; keep more of them than payloads.
+        while len(self._semantic_memory) > self.memory_capacity * 8:
+            self._semantic_memory.popitem(last=False)
+
+    def _resolve_semantic(self, semantic_key: str) -> Optional[str]:
+        """The exact key a semantic key points at, or None."""
+        exact_key = self._semantic_memory.get(semantic_key)
+        if exact_key is not None:
+            self._semantic_memory.move_to_end(semantic_key)
+            return exact_key
+        path = self._semantic_path(semantic_key)
+        if path is None or not path.exists():
+            return None
+        try:
+            exact_key = json.loads(path.read_text())["key"]
+        except (OSError, ValueError, TypeError, KeyError):
+            self._drop_semantic(semantic_key)
+            return None
+        if not isinstance(exact_key, str):
+            self._drop_semantic(semantic_key)
+            return None
+        self._remember_semantic(semantic_key, exact_key)
+        return exact_key
+
+    def _write_semantic(self, semantic_key: str, exact_key: str) -> None:
+        path = self._semantic_path(semantic_key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps({"key": exact_key}))
+        os.replace(tmp, path)
+
+    def _drop_semantic(self, semantic_key: str) -> None:
+        self._semantic_memory.pop(semantic_key, None)
+        path = self._semantic_path(semantic_key)
+        if path is not None:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def _read_disk(self, key: str) -> Optional[dict]:
         path = self._path(key)
@@ -311,6 +460,9 @@ class ResultCache:
             "misses": self.misses,
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
+            "exact_hits": self.exact_hits,
+            "semantic_hits": self.semantic_hits,
+            "semantic": self.semantic,
             "stores": self.stores,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,

@@ -113,6 +113,9 @@ class JobResult:
     seconds: float = 0.0
     #: True when the result was served from the content-addressed cache.
     cached: bool = False
+    #: Which cache level served it: ``"exact"`` or ``"semantic"`` (None when
+    #: not cached).
+    cache_tier: Optional[str] = None
     #: The ``result.to_dict()`` form as it crossed the worker boundary, kept
     #: so the cache can store it without re-serializing (internal plumbing;
     #: may be None, in which case callers serialize ``result`` themselves).
@@ -138,6 +141,8 @@ class JobResult:
             "seconds": self.seconds,
             "cached": self.cached,
         }
+        if self.cached and self.cache_tier is not None:
+            out["cache_tier"] = self.cache_tier
         if self.error is not None:
             out["error"] = self.error_summary()
         if self.result is not None:

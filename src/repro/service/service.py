@@ -24,7 +24,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.pipeline import SynthesisResult
-from repro.service.cache import ResultCache, cache_key
+from repro.service.cache import ResultCache, cache_key, semantic_cache_key
 from repro.service.job import JobEvent, JobResult, JobStatus, SynthesisJob
 from repro.service.worker import EventCallback, WorkerPool, run_jobs_inline, _emit
 
@@ -57,6 +57,16 @@ class BatchReport:
         return sum(1 for r in self.results if r.cached)
 
     @property
+    def exact_hits(self) -> int:
+        """Jobs served by the exact (byte-identical input) cache level."""
+        return sum(1 for r in self.results if r.cached and r.cache_tier != "semantic")
+
+    @property
+    def semantic_hits(self) -> int:
+        """Jobs served by the semantic (normalized-key) cache level."""
+        return sum(1 for r in self.results if r.cached and r.cache_tier == "semantic")
+
+    @property
     def hit_rate(self) -> float:
         """Fraction of jobs served from the cache (0.0 without a cache)."""
         return self.cache_hits / len(self.results) if self.results else 0.0
@@ -77,6 +87,8 @@ class BatchReport:
             "succeeded": len(self.succeeded),
             "failed": len(self.failed),
             "cache_hits": self.cache_hits,
+            "exact_hits": self.exact_hits,
+            "semantic_hits": self.semantic_hits,
             "hit_rate": self.hit_rate,
             "cache": self.cache,
             "results": [result.to_dict() for result in self.results],
@@ -111,11 +123,21 @@ class SynthesisService:
 
         to_run: List[SynthesisJob] = []
         keys: Dict[str, str] = {}
+        semantic_keys: Dict[str, Optional[str]] = {}
         for job in jobs:
             if self.cache is not None:
                 key = cache_key(job.term, job.config)
                 keys[job.job_id] = key
-                payload = self.cache.get(key)
+                # The semantic key is only derived when the tier is on —
+                # normalization walks the whole term, and --no-semantic-cache
+                # should not pay for it.
+                semantic_key = (
+                    semantic_cache_key(job.term, job.config)
+                    if self.cache.semantic
+                    else None
+                )
+                semantic_keys[job.job_id] = semantic_key
+                payload, tier = self.cache.lookup(key, semantic_key)
                 if payload is not None:
                     results[job.job_id] = JobResult(
                         job_id=job.job_id,
@@ -123,8 +145,12 @@ class SynthesisService:
                         status=JobStatus.SUCCEEDED,
                         result=SynthesisResult.from_dict(payload),
                         cached=True,
+                        cache_tier=tier,
                     )
-                    _emit(self.on_event, JobEvent("cache-hit", job.job_id, job.name))
+                    _emit(
+                        self.on_event,
+                        JobEvent("cache-hit", job.job_id, job.name, message=tier),
+                    )
                     continue
             to_run.append(job)
 
@@ -141,7 +167,9 @@ class SynthesisService:
                     # The worker already shipped the result as its to_dict()
                     # form; store that verbatim instead of re-serializing.
                     payload = outcome.result_payload or outcome.result.to_dict()
-                    self.cache.put(keys[job.job_id], payload)
+                    self.cache.put(
+                        keys[job.job_id], payload, semantic_keys[job.job_id]
+                    )
 
         return BatchReport(
             results=[results[job.job_id] for job in jobs],

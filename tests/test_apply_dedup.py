@@ -172,6 +172,133 @@ def test_pipeline_parity_on_real_models():
 
 
 # ---------------------------------------------------------------------------
+# Content-keyed dedup for impure rules (the chain-fold case)
+# ---------------------------------------------------------------------------
+
+
+def test_content_keyed_rule_skips_when_content_is_unchanged():
+    """An impure rule with a content_key quiesces once its reads stabilize."""
+    calls = []
+
+    def applier(egraph: EGraph, class_id: int, sub):
+        calls.append(egraph.union_version)
+        if len(calls) == 1:
+            # Grow the graph *away* from the matched class so the run gets a
+            # second epoch while the rule's content key stays unchanged.
+            egraph.add_term(Term("side"))
+        return None
+
+    def content(egraph: EGraph, class_id: int, sub):
+        return tuple(sorted(str(n.op) for n in egraph.nodes(sub["a"])))
+
+    rule = dynamic_rewrite("peek", "(H ?a)", applier, content_key=content)
+    assert rule.deduplicable and not rule.pure
+    egraph = EGraph()
+    egraph.add_term(Term("H", (Term("x"),)))
+    report = Runner(
+        [rule], RunnerLimits(max_iterations=6, max_enodes=10_000), dedup=True
+    ).run(egraph)
+    # First epoch examines the chain; every later epoch skips it because
+    # nothing unioned into the matched class.
+    assert len(calls) == 1
+    assert sum(it.skipped_applications for it in report.iterations) >= 1
+
+
+def test_content_change_refires_a_content_keyed_rule():
+    """A class whose contents change is re-examined exactly until they stop."""
+    calls = []
+
+    def applier(egraph: EGraph, class_id: int, sub):
+        calls.append(len(calls))
+        if len(calls) < 3:
+            # Mutate the matched class: its content key changes, so the
+            # ledger must let the next epoch re-fire despite the identical
+            # match fingerprint.
+            egraph.merge(sub["a"], egraph.add_term(Term(f"leaf{len(calls)}")))
+        return None
+
+    def content(egraph: EGraph, class_id: int, sub):
+        return tuple(sorted(str(n.op) for n in egraph.nodes(sub["a"])))
+
+    rule = dynamic_rewrite("grow", "(H ?a)", applier, content_key=content)
+    egraph = EGraph()
+    egraph.add_term(Term("H", (Term("x"),)))
+    report = Runner(
+        [rule], RunnerLimits(max_iterations=10, max_enodes=10_000), dedup=True
+    ).run(egraph)
+    # Fired once per distinct content (x | x+leaf1 | x+leaf1+leaf2), then
+    # quiesced — a plain fingerprint ledger would have stopped after one
+    # firing and missed the mutations; no ledger at all would never skip.
+    assert len(calls) == 3
+    assert report.stop_reason.value == "saturated"
+
+
+def test_chain_fold_skips_rescans_on_unchanged_chains():
+    """The real fold-chain rule stops rescanning a chain that stopped growing."""
+    model = linear_array(12, (3.0, 0.0, 0.0), cube())
+    results = {}
+    for dedup in (False, True):
+        egraph = EGraph()
+        root = egraph.add_term(model)
+        report = Runner(
+            [rule for rule in default_rules() if rule.name.startswith("fold-chain")],
+            RunnerLimits(max_iterations=6, max_enodes=100_000),
+            dedup=dedup,
+        ).run(egraph)
+        results[dedup] = (
+            [it.matches for it in report.iterations],
+            egraph.total_enodes,
+            Extractor(egraph, ast_size_cost).cost_of(root),
+        )
+        if dedup:
+            skipped = sum(it.skipped_applications for it in report.iterations)
+            assert skipped > 0, "unchanged chains must be skipped, not re-walked"
+    assert results[True] == results[False]
+
+
+def test_dict_ledger_prune_keeps_values_for_canonical_fingerprints():
+    """_prune_ledgers on a content ledger preserves the stored content."""
+    egraph = EGraph()
+    ids = [egraph.add_term(Term(leaf)) for leaf in ("x", "y", "z", "w")]
+    pair = egraph.add_term(Term("U", (Term("x"), Term("y"))))
+    egraph.rebuild()
+
+    rule = dynamic_rewrite(
+        "ck",
+        "(U ?a ?b)",
+        lambda eg, cid, sub: None,
+        content_key=lambda eg, cid, sub: (),
+    )
+    runner = Runner([rule], RunnerLimits(max_iterations=1), dedup=True)
+    runner.run(egraph)
+    ledger = runner._ledgers["ck"]
+    assert isinstance(ledger, dict)
+    ledger.clear()
+    matches = [
+        RewriteMatch(pair, {"a": ids[i], "b": ids[j]})
+        for i in range(4)
+        for j in range(4)
+    ]
+    for index, match in enumerate(matches):
+        ledger[match.fingerprint(egraph)] = ("content", index)
+    before = dict(ledger)
+
+    egraph.merge(ids[0], ids[1])
+    egraph.rebuild()
+    runner._ledger_stamp = -1_000_000  # force the sweep past amortization
+    runner._prune_ledgers(egraph)
+    pruned = runner._ledgers["ck"]
+    parents = egraph._union_find.parents
+    expected = {
+        fp: content
+        for fp, content in before.items()
+        if runner._fingerprint_canonical(parents, fp)
+    }
+    assert pruned == expected
+    assert 0 < len(pruned) < len(before)
+
+
+# ---------------------------------------------------------------------------
 # Fingerprints and merge invalidation (hypothesis schedules)
 # ---------------------------------------------------------------------------
 

@@ -14,11 +14,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.benchsuite.variants import semantic_variant
 from repro.core.config import SynthesisConfig
-from repro.csg.build import cube, scale, translate, union, union_all, unit
+from repro.csg.build import cube, scale, sphere, translate, union, union_all, unit
 from repro.lang.canon import (
     canonical_term_text,
     payload_fingerprint,
+    semantic_fingerprint,
     term_fingerprint,
     term_from_canonical,
 )
@@ -51,6 +53,22 @@ class TestTermFingerprint:
     def test_operand_order_matters(self):
         a, b = unit(), scale(2.0, 2.0, 2.0, cube())
         assert term_fingerprint(union(a, b)) != term_fingerprint(union(b, a))
+
+    def test_negative_zero_renders_as_plain_zero(self):
+        # IEEE -0.0 == 0.0, and repr() would otherwise leak the sign bit into
+        # the canonical text — giving "equal" terms distinct fingerprints.
+        assert canonical_term_text(Term(-0.0)) == canonical_term_text(Term(0.0))
+        assert term_fingerprint(Term(-0.0)) == term_fingerprint(Term(0.0))
+
+    def test_negative_zero_round_trips(self):
+        text = canonical_term_text(translate(-0.0, 0.0, 0.0, cube()))
+        rebuilt = term_from_canonical(text)
+        assert canonical_term_text(rebuilt) == text
+
+    def test_negative_zero_inside_vectors(self):
+        a = translate(-0.0, 2.0, 3.0, cube())
+        b = translate(0.0, 2.0, 3.0, cube())
+        assert term_fingerprint(a) == term_fingerprint(b)
 
     def test_stable_across_processes_and_hash_seeds(self):
         # The whole point of content addressing: a key minted under one
@@ -184,4 +202,48 @@ class TestCacheKey:
     def test_payload_fingerprint_ignores_insertion_order(self):
         assert payload_fingerprint({"a": 1, "b": [2, 3]}) == payload_fingerprint(
             {"b": [2, 3], "a": 1}
+        )
+
+
+class TestSemanticFingerprint:
+    def setup_method(self):
+        self.term = union_all([translate(2.0 * i, 0.0, 0.0, unit()) for i in range(3)])
+        self.config = SynthesisConfig()
+
+    def test_invariant_under_semantic_respelling(self):
+        variant = semantic_variant(self.term)
+        assert variant != self.term
+        assert semantic_fingerprint(variant, self.config) == semantic_fingerprint(
+            self.term, self.config
+        )
+
+    def test_invariant_under_commutative_reordering(self):
+        assert semantic_fingerprint(union(cube(), sphere()), self.config) == (
+            semantic_fingerprint(union(sphere(), cube()), self.config)
+        )
+
+    def test_invariant_under_literal_respelling(self):
+        respelled = union_all([translate(2 * i, 0, 0, unit()) for i in range(3)])
+        # int vs float spellings: distinct exact fingerprints...
+        assert term_fingerprint(respelled) != term_fingerprint(self.term)
+        # ...but one semantic identity.
+        assert semantic_fingerprint(respelled, self.config) == semantic_fingerprint(
+            self.term, self.config
+        )
+
+    def test_sensitive_to_design_changes(self):
+        other = union_all([translate(3.0 * i, 0.0, 0.0, unit()) for i in range(3)])
+        assert semantic_fingerprint(other, self.config) != semantic_fingerprint(
+            self.term, self.config
+        )
+
+    def test_sensitive_to_config_changes(self):
+        assert semantic_fingerprint(self.term, self.config) != semantic_fingerprint(
+            self.term, SynthesisConfig(epsilon=1e-2)
+        )
+
+    def test_distinct_from_the_exact_key(self):
+        # The two tiers must never collide on key space by accident.
+        assert semantic_fingerprint(self.term, self.config) != cache_key(
+            self.term, self.config
         )

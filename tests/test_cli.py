@@ -2,6 +2,7 @@
 
 import dataclasses
 import json
+from pathlib import Path
 
 import pytest
 
@@ -128,6 +129,23 @@ class TestParser:
         args = build_parser().parse_args(["table1"])
         assert args.persistent_workers is False
 
+    def test_semantic_cache_flags_parse(self):
+        from repro.cli import _build_cache
+
+        args = build_parser().parse_args(
+            ["batch", "a.csg", "--cache", "/tmp/c", "--no-semantic-cache"]
+        )
+        assert args.no_semantic_cache is True
+        assert _build_cache(args).semantic is False
+        args = build_parser().parse_args(["batch", "a.csg", "--cache", "/tmp/c"])
+        assert args.no_semantic_cache is False
+        assert _build_cache(args).semantic is True
+        args = build_parser().parse_args(
+            ["table1", "--semantic-variants", "--no-semantic-cache"]
+        )
+        assert args.semantic_variants is True and args.no_semantic_cache is True
+        assert build_parser().parse_args(["table1"]).semantic_variants is False
+
     def test_run_is_an_alias_for_synth(self):
         args = build_parser().parse_args(["run", "model.csg"])
         assert args.input == "model.csg"
@@ -246,7 +264,50 @@ class TestBatchCommand:
         assert main(["batch", *csg_files, "--cache", cache_dir]) == 0
         captured = capsys.readouterr().out
         assert "[cache-hit]" in captured
-        assert "2 from cache (100% hit rate)" in captured
+        assert "2 from cache (2 exact, 0 semantic; 100% hit rate)" in captured
+
+    def _respelled(self, csg_files, tmp_path):
+        """The same designs, spelled differently (variant literals/order)."""
+        from repro.benchsuite.variants import semantic_variant
+        from repro.lang.term import Term
+
+        paths = []
+        for index, original in enumerate(csg_files):
+            variant = semantic_variant(Term.parse(Path(original).read_text()))
+            path = tmp_path / f"respelled{index}.csg"
+            path.write_text(format_term(variant))
+            paths.append(str(path))
+        return paths
+
+    def test_batch_respelled_inputs_hit_the_semantic_level(
+        self, csg_files, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", *csg_files, "--cache", cache_dir]) == 0
+        capsys.readouterr()
+        respelled = self._respelled(csg_files, tmp_path)
+        assert main(["batch", *respelled, "--cache", cache_dir]) == 0
+        captured = capsys.readouterr().out
+        assert "[cache-hit]" in captured
+        assert "2 from cache (0 exact, 2 semantic; 100% hit rate)" in captured
+
+    def test_no_semantic_cache_downgrades_respelled_inputs_to_misses(
+        self, csg_files, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", *csg_files, "--cache", cache_dir]) == 0
+        capsys.readouterr()
+        respelled = self._respelled(csg_files, tmp_path)
+        assert (
+            main(["batch", *respelled, "--cache", cache_dir, "--no-semantic-cache"])
+            == 0
+        )
+        captured = capsys.readouterr().out
+        assert "0 from cache (0 exact, 0 semantic; 0% hit rate)" in captured
+        # Exact hits survive the flag: the unmodified files still hit.
+        assert main(["batch", *csg_files, "--cache", cache_dir, "--no-semantic-cache"]) == 0
+        captured = capsys.readouterr().out
+        assert "2 from cache (2 exact, 0 semantic; 100% hit rate)" in captured
 
     def test_batch_isolates_a_bad_input_file(self, csg_files, tmp_path, capsys):
         bad = tmp_path / "bad.csg"

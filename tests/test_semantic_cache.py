@@ -1,0 +1,194 @@
+"""The result cache's semantic (normalized-key) lookup level.
+
+Unit tests cover the two-level :meth:`ResultCache.lookup` mechanics —
+exact-first probing, separate hit counters, pointer persistence, dangling
+pointers after eviction, and the ``semantic=False`` kill switch — and the
+invariant the tier was designed around: the exact tier's on-disk layout and
+counters are untouched by semantic entries.
+
+The differential class is the acceptance check from the other side: for
+each fast bundled model, a semantically respelled variant (renamed
+parameters, reordered commutative operands, respelled literals) must be
+served from the warm cache at the semantic level with a byte-identical
+payload, and must miss when the tier is disabled.
+"""
+
+import json
+
+import pytest
+
+from repro.benchsuite.suite import get_benchmark
+from repro.benchsuite.table1 import run_table1_batch
+from repro.benchsuite.variants import semantic_variant
+from repro.core.config import SynthesisConfig
+from repro.csg.build import cube, sphere, union
+from repro.service.cache import ResultCache, cache_key, semantic_cache_key
+
+#: Quick models (the batch differential suite's blocking subset).
+_FAST_SUBSET = ["sander", "soldering", "hc-bits", "relay-box", "compose"]
+
+
+@pytest.fixture
+def keys():
+    """Exact + semantic keys for a term and a semantically equal respelling."""
+    config = SynthesisConfig()
+    original = union(cube(), sphere())
+    respelled = union(sphere(), cube())
+    assert original != respelled
+    assert semantic_cache_key(original, config) == semantic_cache_key(respelled, config)
+    return {
+        "exact": cache_key(original, config),
+        "exact_respelled": cache_key(respelled, config),
+        "semantic": semantic_cache_key(original, config),
+    }
+
+
+class TestTwoLevelLookup:
+    def test_exact_key_is_the_fast_path(self, keys, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(keys["exact"], {"v": 1}, keys["semantic"])
+        payload, tier = cache.lookup(keys["exact"], keys["semantic"])
+        assert payload == {"v": 1} and tier == "exact"
+        assert cache.exact_hits == 1 and cache.semantic_hits == 0
+
+    def test_respelled_input_hits_at_the_semantic_level(self, keys, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(keys["exact"], {"v": 1}, keys["semantic"])
+        payload, tier = cache.lookup(keys["exact_respelled"], keys["semantic"])
+        assert payload == {"v": 1} and tier == "semantic"
+        assert cache.exact_hits == 0 and cache.semantic_hits == 1
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_semantic_pointers_persist_on_disk(self, keys, tmp_path):
+        ResultCache(tmp_path).put(keys["exact"], {"v": 1}, keys["semantic"])
+        fresh = ResultCache(tmp_path)
+        payload, tier = fresh.lookup(keys["exact_respelled"], keys["semantic"])
+        assert payload == {"v": 1} and tier == "semantic"
+
+    def test_miss_counts_once(self, keys, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload, tier = cache.lookup(keys["exact"], keys["semantic"])
+        assert payload is None and tier is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_semantic_disabled_skips_the_tier_entirely(self, keys, tmp_path):
+        populated = ResultCache(tmp_path)
+        populated.put(keys["exact"], {"v": 1}, keys["semantic"])
+        cache = ResultCache(tmp_path, semantic=False)
+        payload, tier = cache.lookup(keys["exact_respelled"], keys["semantic"])
+        assert payload is None and tier is None
+        # And a semantic=False put writes no pointer files.
+        off = ResultCache(tmp_path / "off", semantic=False)
+        off.put(keys["exact"], {"v": 1}, keys["semantic"])
+        assert not list((tmp_path / "off").glob("sem/*/*.json"))
+
+    def test_dangling_pointer_is_a_miss_and_is_dropped(self, keys, tmp_path):
+        cache = ResultCache(tmp_path, memory_capacity=0)
+        cache.put(keys["exact"], {"v": 1}, keys["semantic"])
+        # Remove the exact entry out from under the pointer (what eviction
+        # does; pointers are invisible to the eviction globs).
+        exact_path = tmp_path / keys["exact"][:2] / f"{keys['exact']}.json"
+        exact_path.unlink()
+        payload, tier = cache.lookup(keys["exact_respelled"], keys["semantic"])
+        assert payload is None and tier is None
+        assert not list(tmp_path.glob("sem/*/*.json")), "pointer must be dropped"
+
+    def test_corrupt_pointer_is_a_miss(self, keys, tmp_path):
+        cache = ResultCache(tmp_path, memory_capacity=0)
+        cache.put(keys["exact"], {"v": 1}, keys["semantic"])
+        pointer = tmp_path / "sem" / keys["semantic"][:2] / f"{keys['semantic']}.json"
+        pointer.write_text("{torn")
+        payload, tier = cache.lookup(keys["exact_respelled"], keys["semantic"])
+        assert payload is None and tier is None
+        assert not pointer.exists()
+
+    def test_rebound_after_dangle(self, keys, tmp_path):
+        cache = ResultCache(tmp_path, memory_capacity=0)
+        cache.put(keys["exact"], {"v": 1}, keys["semantic"])
+        (tmp_path / keys["exact"][:2] / f"{keys['exact']}.json").unlink()
+        assert cache.lookup(keys["exact_respelled"], keys["semantic"]) == (None, None)
+        cache.put(keys["exact_respelled"], {"v": 2}, keys["semantic"])
+        payload, tier = cache.lookup(keys["exact"], keys["semantic"])
+        assert payload == {"v": 2} and tier == "semantic"
+
+    def test_stats_expose_the_tier_split(self, keys, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(keys["exact"], {"v": 1}, keys["semantic"])
+        cache.lookup(keys["exact"], keys["semantic"])
+        cache.lookup(keys["exact_respelled"], keys["semantic"])
+        stats = cache.stats()
+        assert stats["exact_hits"] == 1
+        assert stats["semantic_hits"] == 1
+        assert stats["semantic"] is True
+        assert stats["hits"] == 2
+
+
+class TestExactTierUnchanged:
+    """Semantic entries must be invisible to the exact tier's machinery."""
+
+    def test_exact_keys_and_fingerprints_are_unchanged(self):
+        # The exact key derivation must not involve normalization at all:
+        # two spellings the semantic tier identifies keep distinct exact keys.
+        config = SynthesisConfig()
+        assert cache_key(union(cube(), sphere()), config) != cache_key(
+            union(sphere(), cube()), config
+        )
+
+    def test_pointers_do_not_count_as_disk_entries(self, keys, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(keys["exact"], {"v": 1}, keys["semantic"])
+        assert cache.disk_entries() == 1
+        assert len(list(tmp_path.glob("sem/*/*.json"))) == 1
+
+    def test_bounded_eviction_never_touches_pointers(self, keys, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=1, memory_capacity=0)
+        cache.put(keys["exact"], {"v": 1}, keys["semantic"])
+        # Overflow the exact tier with unrelated entries.
+        for i in range(4):
+            cache.put("ab" + f"{i:062d}", {"v": i})
+        assert cache.disk_entries() == 1
+        assert len(list(tmp_path.glob("sem/*/*.json"))) == 1, (
+            "eviction must not delete (or count) semantic pointers"
+        )
+
+    def test_legacy_get_is_exact_only(self, keys, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(keys["exact"], {"v": 1}, keys["semantic"])
+        assert cache.get(keys["exact_respelled"]) is None
+        assert cache.get(keys["exact"]) == {"v": 1}
+        assert cache.exact_hits == 1 and cache.semantic_hits == 0
+
+
+class TestSemanticCacheDifferential:
+    """Variant inputs must be served warm, byte-identically, semantically."""
+
+    def _payloads(self, report):
+        return [
+            json.dumps(r.result.to_dict(), sort_keys=True) for r in report.batch.results
+        ]
+
+    @pytest.mark.parametrize("name", _FAST_SUBSET)
+    def test_variant_is_a_semantic_hit_with_identical_result(self, name, tmp_path):
+        benchmark = get_benchmark(name)
+        cold = run_table1_batch([benchmark], cache=ResultCache(tmp_path))
+        assert not cold.failures and cold.batch.cache_hits == 0
+
+        warm = run_table1_batch(
+            [benchmark], cache=ResultCache(tmp_path), mutate=semantic_variant
+        )
+        assert not warm.failures
+        assert warm.batch.semantic_hits == 1 and warm.batch.exact_hits == 0
+        assert warm.batch.results[0].cache_tier == "semantic"
+        assert self._payloads(warm) == self._payloads(cold), (
+            "semantic hit must serve the byte-identical stored result"
+        )
+
+        disabled = run_table1_batch(
+            [benchmark],
+            cache=ResultCache(tmp_path, semantic=False),
+            mutate=semantic_variant,
+        )
+        assert not disabled.failures
+        assert disabled.batch.cache_hits == 0, (
+            "--no-semantic-cache means a respelled input must miss"
+        )
