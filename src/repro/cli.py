@@ -7,6 +7,8 @@ Usage examples::
     szalinski table1 --jobs 4 --cache .cache   # Table 1 as a parallel, cache-aware batch run
     szalinski bench gear                       # run one benchmark by name
     szalinski batch a.csg b.csg --jobs 2       # batch-synthesize many flat CSG files
+    szalinski serve --socket /tmp/sz.sock --jobs 4 --cache .cache   # resident daemon
+    szalinski submit --socket /tmp/sz.sock a.csg --wait             # job via the daemon
 
 The synthesis knobs (``--epsilon``, ``--top-k``/``--topk``, ``--cost``,
 ``--rewrite-iterations``, ``--max-enodes``, ``--max-seconds``,
@@ -249,6 +251,156 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if not failures else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident synthesis daemon until SIGTERM/SIGINT (or a
+    client's ``shutdown`` request), then drain and exit cleanly."""
+    import signal
+
+    from repro.service.daemon import SynthesisDaemon
+
+    if args.jobs < 1:
+        raise SystemExit("serve: --jobs must be >= 1 (the daemon always uses workers)")
+    cache = _build_cache(args)
+    daemon = SynthesisDaemon(
+        args.socket,
+        worker_count=args.jobs,
+        cache=cache,
+        max_pending=args.max_pending,
+        default_timeout=args.timeout,
+    )
+    daemon.start()
+
+    def _graceful(signum, frame):
+        print(f"-- received signal {signum}: draining in-flight jobs", flush=True)
+        daemon.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    print(
+        f"-- szalinski daemon serving on {args.socket} "
+        f"({args.jobs} worker(s), cache {'at ' + args.cache if args.cache else 'off'}, "
+        f"max {args.max_pending} pending)",
+        flush=True,
+    )
+    daemon.serve_forever()
+    print("-- daemon stopped", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Talk to a running daemon: submit jobs, or query/stop it."""
+    from repro.service.protocol import DaemonClient, DaemonError
+
+    control = [name for name in ("health", "stats", "shutdown") if getattr(args, name)]
+    if len(control) > 1:
+        raise SystemExit("submit: --health/--stats/--shutdown are mutually exclusive")
+    if control and (args.inputs or args.bench or args.suite):
+        raise SystemExit(f"submit: --{control[0]} does not take job inputs")
+
+    try:
+        client = DaemonClient(args.socket, timeout=args.connect_timeout)
+    except OSError as exc:
+        raise SystemExit(f"submit: cannot reach daemon at {args.socket}: {exc}")
+    with client:
+        if control:
+            try:
+                response = getattr(client, control[0])()
+            except DaemonError as exc:
+                raise SystemExit(f"submit: daemon error: {exc}")
+            print(json.dumps(response, indent=2))
+            return 0
+
+        specs = []
+        read_failures = []
+        for path in args.inputs:
+            # An unreadable file is isolated exactly like the batch CLI
+            # does it: one failed line, the submission keeps going.
+            try:
+                text = Path(path).read_text()
+            except OSError as exc:
+                read_failures.append((Path(path).stem, str(exc)))
+                continue
+            specs.append({"name": Path(path).stem, "term": text})
+        bench_names = list(args.bench)
+        if args.suite:
+            bench_names.extend(b.name for b in BENCHMARKS if b.name not in bench_names)
+        if bench_names:
+            from repro.benchsuite.table1 import benchmark_jobs
+            from repro.lang.canon import canonical_term_text
+
+            selection = [get_benchmark(name) for name in bench_names]
+            bench_jobs, bench_failures = benchmark_jobs(selection)
+            for job in bench_jobs:
+                specs.append(
+                    {
+                        "name": job.name,
+                        "term": canonical_term_text(job.term),
+                        "config": job.config.to_dict(),
+                    }
+                )
+            read_failures.extend(
+                (failure.name, failure.error_summary()) for failure in bench_failures
+            )
+        for spec in specs:
+            if args.timeout is not None:
+                spec["timeout"] = args.timeout
+            if args.priority:
+                spec["priority"] = args.priority
+        if not specs and not read_failures:
+            print("submit: nothing to do (pass CSG files, --bench NAME, or --suite)")
+            return 2
+
+        results = []
+        try:
+            if args.wait:
+                results = client.submit_and_wait(specs)
+            elif specs:
+                accepted = client.submit(specs, wait=False)
+                print(f"accepted {len(accepted['job_ids'])} job(s): "
+                      + ", ".join(accepted["job_ids"]))
+        except DaemonError as exc:
+            print(f"rejected: {exc}")
+            return 3
+
+        failed = list(read_failures)
+        for result in results:
+            if result["status"] == "succeeded":
+                headline = result.get("result") or {}
+                origin = (
+                    f"cache:{result.get('cache_tier', 'exact')}"
+                    if result.get("cached")
+                    else f"{result.get('seconds', 0.0):.2f}s"
+                )
+                cost = headline.get("best_cost")
+                print(
+                    f"ok     {result['name']:<20} "
+                    f"cost {cost:g} [{origin}]" if cost is not None
+                    else f"ok     {result['name']:<20} [{origin}]"
+                )
+            else:
+                failed.append((result["name"], result.get("error", result["status"])))
+        for name, error in failed:
+            print(f"FAILED {name:<20} {error}")
+        if args.wait:
+            succeeded = sum(1 for r in results if r["status"] == "succeeded")
+            hits = sum(1 for r in results if r.get("cached"))
+            print(
+                f"-- {succeeded}/{len(specs) + len(read_failures)} jobs succeeded, "
+                f"{hits} from cache"
+            )
+        _write_report(
+            args.report,
+            {
+                "socket": args.socket,
+                "results": results,
+                "read_failures": [
+                    {"name": name, "error": error} for name, error in read_failures
+                ],
+            },
+        )
+        return 0 if not failed else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     for benchmark in BENCHMARKS:
         structure = "structured" if benchmark.expects_structure else "no structure"
@@ -388,6 +540,81 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--timeout", type=float, default=None, help="per-job timeout in seconds")
     batch.add_argument("--report", help="write a JSON batch report")
     batch.set_defaults(func=_cmd_batch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the resident synthesis daemon on a Unix-domain socket",
+    )
+    serve.add_argument(
+        "--socket", required=True,
+        help="Unix-domain socket path to listen on (created; unlinked on exit)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=2,
+        help="persistent worker processes shared by all clients",
+    )
+    serve.add_argument("--cache", help="content-addressed result cache directory")
+    serve.add_argument(
+        "--cache-max-mb", type=float, default=None,
+        help="evict least-recently-used disk cache entries beyond this size",
+    )
+    serve.add_argument(
+        "--no-semantic-cache", action="store_true",
+        help="disable the cache's semantic (normalized-key) lookup level; "
+        "only byte-identical inputs hit",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=256,
+        help="admission control: reject submissions once this many jobs are "
+        "admitted but unfinished",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-job timeout in seconds for jobs that do not set one",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit jobs to (or query/stop) a running daemon",
+    )
+    submit.add_argument("inputs", nargs="*", help="flat CSG s-expression files")
+    submit.add_argument(
+        "--socket", required=True, help="Unix-domain socket of the daemon"
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until every job's result frame arrives (and print them)",
+    )
+    submit.add_argument(
+        "--bench", action="append", default=[], choices=benchmark_names(),
+        metavar="NAME", help="add a bundled benchmark to the submission (repeatable)",
+    )
+    submit.add_argument(
+        "--suite", action="store_true", help="add the whole 16-model benchmark suite"
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0, help="job priority (higher runs first)"
+    )
+    submit.add_argument(
+        "--connect-timeout", type=float, default=600.0,
+        help="socket timeout in seconds for daemon I/O",
+    )
+    submit.add_argument(
+        "--health", action="store_true", help="print the daemon's health snapshot"
+    )
+    submit.add_argument(
+        "--stats", action="store_true", help="print the daemon's full statistics"
+    )
+    submit.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the daemon to drain in-flight jobs and exit",
+    )
+    submit.add_argument("--report", help="write a JSON report of the submission")
+    submit.set_defaults(func=_cmd_submit)
 
     lister = subparsers.add_parser("list", help="list the benchmark suite")
     lister.set_defaults(func=_cmd_list)

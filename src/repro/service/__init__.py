@@ -12,22 +12,42 @@ See the top-level ``README.md`` for the architecture and the cache layout.
 """
 
 from repro.service.cache import ResultCache, cache_key
+from repro.service.daemon import SynthesisDaemon
 from repro.service.job import JobEvent, JobResult, JobStatus, SynthesisJob
+from repro.service.protocol import (
+    DaemonClient,
+    DaemonError,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
 from repro.service.queue import JobQueue
 from repro.service.service import BatchReport, SynthesisService
-from repro.service.worker import WorkerPool, execute_payload, run_jobs_inline
+from repro.service.worker import (
+    ResidentPool,
+    WorkerPool,
+    execute_payload,
+    run_jobs_inline,
+)
 
 __all__ = [
     "BatchReport",
+    "DaemonClient",
+    "DaemonError",
     "JobEvent",
     "JobQueue",
     "JobResult",
     "JobStatus",
+    "ProtocolError",
+    "ResidentPool",
     "ResultCache",
+    "SynthesisDaemon",
     "SynthesisJob",
     "SynthesisService",
     "WorkerPool",
     "cache_key",
     "execute_payload",
+    "recv_frame",
     "run_jobs_inline",
+    "send_frame",
 ]

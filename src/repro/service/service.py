@@ -6,10 +6,14 @@ harness sit on.  For every submitted job it:
 1. probes the content-addressed :class:`~repro.service.cache.ResultCache`
    (when one is attached) — a hit short-circuits the job entirely and is
    reported with ``cached=True``;
-2. dispatches the misses to a :class:`~repro.service.worker.WorkerPool`
-   (``worker_count >= 1``) or the inline executor (``worker_count == 0``),
-   streaming :class:`~repro.service.job.JobEvent`\\ s to the caller;
-3. writes every fresh success back into the cache and assembles a
+2. coalesces misses that share a cache key — one representative executes
+   and its duplicates are served the same outcome (``cache_tier="batch"``)
+   without running;
+3. dispatches the representatives to a
+   :class:`~repro.service.worker.WorkerPool` (``worker_count >= 1``) or the
+   inline executor (``worker_count == 0``), streaming
+   :class:`~repro.service.job.JobEvent`\\ s to the caller;
+4. writes every fresh success back into the cache and assembles a
    :class:`BatchReport` with per-job outcomes in submission order.
 
 Failures never propagate: a job that raises, crashes its worker, or blows
@@ -59,12 +63,17 @@ class BatchReport:
     @property
     def exact_hits(self) -> int:
         """Jobs served by the exact (byte-identical input) cache level."""
-        return sum(1 for r in self.results if r.cached and r.cache_tier != "semantic")
+        return sum(1 for r in self.results if r.cached and r.cache_tier == "exact")
 
     @property
     def semantic_hits(self) -> int:
         """Jobs served by the semantic (normalized-key) cache level."""
         return sum(1 for r in self.results if r.cached and r.cache_tier == "semantic")
+
+    @property
+    def batch_hits(self) -> int:
+        """Jobs coalesced onto an identical job within the same batch."""
+        return sum(1 for r in self.results if r.cached and r.cache_tier == "batch")
 
     @property
     def hit_rate(self) -> float:
@@ -89,6 +98,7 @@ class BatchReport:
             "cache_hits": self.cache_hits,
             "exact_hits": self.exact_hits,
             "semantic_hits": self.semantic_hits,
+            "batch_hits": self.batch_hits,
             "hit_rate": self.hit_rate,
             "cache": self.cache,
             "results": [result.to_dict() for result in self.results],
@@ -116,18 +126,29 @@ class SynthesisService:
         self.persistent = persistent
 
     def run_batch(self, jobs: Sequence[SynthesisJob]) -> BatchReport:
-        """Run a batch of jobs and return their outcomes in submission order."""
+        """Run a batch of jobs and return their outcomes in submission order.
+
+        Raises :class:`ValueError` when two jobs share a ``job_id`` —
+        results are keyed by id, so duplicates would silently clobber one
+        outcome and report the other twice.
+        """
         jobs = [self._normalize(job) for job in jobs]
+        self._reject_duplicate_ids(jobs)
         start = time.perf_counter()
         results: Dict[str, JobResult] = {}
 
         to_run: List[SynthesisJob] = []
         keys: Dict[str, str] = {}
         semantic_keys: Dict[str, Optional[str]] = {}
+        #: Within-batch coalescing: first job seen per cache key runs, the
+        #: rest are served its outcome (the key folds in the config and the
+        #: clamped timeout, so only genuinely interchangeable jobs merge).
+        primary_for_key: Dict[str, str] = {}
+        followers: Dict[str, List[SynthesisJob]] = {}
         for job in jobs:
+            key = cache_key(job.term, job.config)
+            keys[job.job_id] = key
             if self.cache is not None:
-                key = cache_key(job.term, job.config)
-                keys[job.job_id] = key
                 # The semantic key is only derived when the tier is on —
                 # normalization walks the whole term, and --no-semantic-cache
                 # should not pay for it.
@@ -152,6 +173,11 @@ class SynthesisService:
                         JobEvent("cache-hit", job.job_id, job.name, message=tier),
                     )
                     continue
+            primary_id = primary_for_key.get(key)
+            if primary_id is not None:
+                followers.setdefault(primary_id, []).append(job)
+                continue
+            primary_for_key[key] = job.job_id
             to_run.append(job)
 
         if to_run:
@@ -170,12 +196,67 @@ class SynthesisService:
                     self.cache.put(
                         keys[job.job_id], payload, semantic_keys[job.job_id]
                     )
+                for follower in followers.get(job.job_id, ()):
+                    results[follower.job_id] = self._follower_result(follower, outcome)
+                    _emit(
+                        self.on_event,
+                        JobEvent(
+                            "cache-hit" if outcome.ok else "failed",
+                            follower.job_id,
+                            follower.name,
+                            message="batch" if outcome.ok else outcome.error_summary(),
+                        ),
+                    )
 
         return BatchReport(
             results=[results[job.job_id] for job in jobs],
             seconds=time.perf_counter() - start,
             worker_count=self.worker_count,
             cache=self.cache.stats() if self.cache is not None else {},
+        )
+
+    @staticmethod
+    def _reject_duplicate_ids(jobs: Sequence[SynthesisJob]) -> None:
+        """Fail fast on colliding job ids instead of corrupting the report."""
+        seen: Dict[str, int] = {}
+        for job in jobs:
+            seen[job.job_id] = seen.get(job.job_id, 0) + 1
+        duplicates = sorted(job_id for job_id, count in seen.items() if count > 1)
+        if duplicates:
+            raise ValueError(
+                f"duplicate job ids in batch: {', '.join(duplicates)} — "
+                "results are keyed by job_id, so duplicates would clobber "
+                "each other; give each job a unique id (or let it default)"
+            )
+
+    @staticmethod
+    def _follower_result(job: SynthesisJob, primary: JobResult) -> JobResult:
+        """The outcome a coalesced duplicate reports.
+
+        The follower never ran: on success it is served the primary's
+        payload exactly like a cache hit (``cache_tier="batch"``); a failed
+        or timed-out primary is mirrored (an identical job would have met
+        the identical fate), with the error annotated so the report shows
+        where the single execution happened.
+        """
+        if primary.ok:
+            return JobResult(
+                job_id=job.job_id,
+                name=job.name,
+                status=JobStatus.SUCCEEDED,
+                result=primary.result,
+                cached=True,
+                cache_tier="batch",
+                result_payload=primary.result_payload,
+            )
+        return JobResult(
+            job_id=job.job_id,
+            name=job.name,
+            status=primary.status,
+            error=(
+                f"coalesced with identical job {primary.job_id}, which "
+                f"{primary.status.value}:\n{primary.error or ''}"
+            ),
         )
 
     @staticmethod

@@ -29,15 +29,22 @@ isolation keep the default one-process-per-job mode.
 (and by unit tests): same scheduling order and error capture, but timeouts
 are only honored cooperatively (the config's ``max_seconds`` fuel is
 clamped) since there is no process to kill.
+
+:class:`ResidentPool` is the daemon-facing variant: the same persistent
+worker processes, but driven by a resident scheduler thread that accepts
+job submissions at any time and reports completions through per-job
+callbacks instead of draining one batch and returning.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import socket
+import threading
 import time
 from dataclasses import dataclass, replace
 from multiprocessing.connection import wait as connection_wait
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.service.job import JobEvent, JobResult, JobStatus, SynthesisJob
 from repro.service.queue import JobQueue
@@ -137,6 +144,29 @@ def _worker_entry(payload: dict, conn) -> None:
         conn.send(outcome)
     finally:
         conn.close()
+
+
+def _pick_context(start_method: Optional[str]) -> Tuple[object, str]:
+    """The multiprocessing context for worker processes.
+
+    Fork (where available) keeps per-job startup cheap: the child inherits
+    the already-imported pipeline instead of re-importing.
+    """
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else methods[0]
+    return multiprocessing.get_context(start_method), start_method
+
+
+def _spawn_worker(context) -> "_PersistentWorker":
+    """Start one long-lived worker process fed over a duplex pipe."""
+    parent_conn, child_conn = context.Pipe(duplex=True)
+    process = context.Process(
+        target=_persistent_worker_loop, args=(child_conn,), daemon=True
+    )
+    process.start()
+    child_conn.close()
+    return _PersistentWorker(process=process, conn=parent_conn)
 
 
 def _result_from_outcome(job: SynthesisJob, outcome: dict, seconds: float) -> JobResult:
@@ -254,13 +284,7 @@ class WorkerPool:
         #: the initial crew plus one per respawn after a crash/timeout
         #: (observable in tests and reports).
         self.workers_spawned = 0
-        if start_method is None:
-            # Fork (where available) keeps per-job startup cheap: the child
-            # inherits the already-imported pipeline instead of re-importing.
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else methods[0]
-        self._context = multiprocessing.get_context(start_method)
-        self.start_method = start_method
+        self._context, self.start_method = _pick_context(start_method)
 
     # -- driver ----------------------------------------------------------------
 
@@ -295,14 +319,8 @@ class WorkerPool:
     # -- persistent mode --------------------------------------------------------
 
     def _spawn_persistent(self) -> _PersistentWorker:
-        parent_conn, child_conn = self._context.Pipe(duplex=True)
-        process = self._context.Process(
-            target=_persistent_worker_loop, args=(child_conn,), daemon=True
-        )
-        process.start()
-        child_conn.close()
         self.workers_spawned += 1
-        return _PersistentWorker(process=process, conn=parent_conn)
+        return _spawn_worker(self._context)
 
     #: Consecutive idle-death assignment failures tolerated per job before
     #: it is reported FAILED instead of retried on a fresh worker.
@@ -490,12 +508,17 @@ class WorkerPool:
     def _collect(
         self, slot: _Slot, now: float, on_event: Optional[EventCallback]
     ) -> JobResult:
-        """A worker's pipe is readable: either an outcome or an EOF (crash)."""
+        """A worker's pipe is readable: either an outcome or an EOF (crash).
+
+        A dying worker can surface as ``EOFError`` *or* as ``OSError``
+        (e.g. ECONNRESET on the pipe) depending on how the kernel tears the
+        connection down — both mean the same thing: no outcome is coming.
+        """
         job = slot.job
         elapsed = now - slot.started
         try:
             outcome = slot.conn.recv()
-        except EOFError:
+        except (EOFError, OSError):
             outcome = None
         slot.conn.close()
         slot.process.join()
@@ -535,3 +558,354 @@ class WorkerPool:
         )
         _emit(on_event, JobEvent("timeout", job.job_id, job.name, elapsed, result.error_summary()))
         return result
+
+
+#: Per-job completion callback: receives the job and its final JobResult.
+ResultCallback = Callable[[SynthesisJob, JobResult], None]
+
+
+@dataclass
+class _Submission:
+    """One submitted job and where its progress/outcome should be reported."""
+
+    job: SynthesisJob
+    on_result: ResultCallback
+    on_event: Optional[EventCallback]
+
+
+class ResidentPool:
+    """A long-lived worker fleet serving jobs submitted one at a time.
+
+    The daemon-facing sibling of ``WorkerPool(persistent=True)``: the same
+    worker processes and pipe protocol, but instead of draining one batch
+    synchronously the pool runs a resident scheduler thread that accepts
+    submissions from any thread at any time and reports each completion
+    through the submission's own callback.  The isolation contract is the
+    batch pool's: a worker that crashes, raises, or blows its deadline
+    costs only the job it was running — the job is reported
+    FAILED/TIMEOUT, a replacement worker is spawned, and the fleet keeps
+    serving everything else.
+
+    Callbacks run on the scheduler thread with no pool lock held, so they
+    may call back into the pool (e.g. submit follow-up work), but they must
+    not block for long — every worker's results flow through this one
+    thread.
+
+    ``shutdown(drain=True)`` stops admissions, finishes every queued and
+    in-flight job (callbacks included), then stops the workers;
+    ``drain=False`` kills the fleet immediately and fails outstanding jobs.
+    """
+
+    def __init__(self, worker_count: int, start_method: Optional[str] = None):
+        if worker_count < 1:
+            raise ValueError("worker_count must be >= 1")
+        self.worker_count = worker_count
+        self._context, self.start_method = _pick_context(start_method)
+        #: Lifetime counters (read via :meth:`snapshot`): processes started,
+        #: mid-job deaths, deadline kills, replacements after either.
+        self.workers_spawned = 0
+        self.crashes = 0
+        self.timeouts = 0
+        self.respawns = 0
+        self.jobs_completed = 0
+        self._lock = threading.Lock()
+        self._queue = JobQueue()
+        self._submissions: Dict[str, _Submission] = {}
+        self._assign_failures: Dict[str, int] = {}
+        self._crew: List[_PersistentWorker] = []
+        self._stopping = False
+        self._drain = True
+        self._thread: Optional[threading.Thread] = None
+        # Self-pipe: submit()/shutdown() nudge the scheduler out of its
+        # connection_wait so new work is assigned without polling.
+        self._wake_recv, self._wake_send = socket.socketpair()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ResidentPool":
+        """Spawn the worker crew and the scheduler thread."""
+        with self._lock:
+            if self._thread is not None:
+                raise RuntimeError("ResidentPool is already started")
+            self._crew = [self._spawn() for _ in range(self.worker_count)]
+            self._thread = threading.Thread(
+                target=self._loop, name="resident-pool", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the pool.
+
+        ``drain=True`` completes every queued and running job first (their
+        callbacks fire as usual); ``drain=False`` terminates the fleet and
+        fails outstanding jobs immediately.  Idempotent.
+        """
+        with self._lock:
+            thread = self._thread
+            self._stopping = True
+            self._drain = self._drain and drain
+        if thread is None:
+            return
+        self._wake()
+        thread.join(timeout)
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        job: SynthesisJob,
+        on_result: ResultCallback,
+        on_event: Optional[EventCallback] = None,
+    ) -> None:
+        """Enqueue one job; ``on_result`` fires exactly once when it ends."""
+        with self._lock:
+            if self._thread is None or self._stopping:
+                raise RuntimeError("ResidentPool is not serving")
+            if job.job_id in self._submissions:
+                raise ValueError(f"job id {job.job_id!r} is already in flight")
+            self._queue.push(job)
+            self._submissions[job.job_id] = _Submission(job, on_result, on_event)
+        self._wake()
+
+    # -- observability ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        """A JSON-able counter snapshot (what the daemon's health embeds)."""
+        with self._lock:
+            return {
+                "configured": self.worker_count,
+                "alive": sum(1 for w in self._crew if w.process.is_alive()),
+                "busy": sum(1 for w in self._crew if w.busy),
+                "queue_depth": len(self._queue),
+                "spawned": self.workers_spawned,
+                "crashes": self.crashes,
+                "timeouts": self.timeouts,
+                "respawns": self.respawns,
+                "completed": self.jobs_completed,
+            }
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def running_count(self) -> int:
+        with self._lock:
+            return sum(1 for w in self._crew if w.busy)
+
+    # -- scheduler loop --------------------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(b"x")
+        except OSError:  # racing a teardown; the loop is already exiting
+            pass
+
+    def _loop(self) -> None:
+        while True:
+            actions: List[Callable[[], None]] = []
+            with self._lock:
+                # Draining still assigns queued work; a force-stop does not.
+                if not self._stopping or self._drain:
+                    self._assign_ready(actions)
+                busy = [w for w in self._crew if w.busy]
+                finished = self._stopping and (
+                    not self._drain or (not busy and not self._queue)
+                )
+            for action in actions:
+                action()
+            if finished:
+                break
+
+            deadlines = [w.deadline for w in busy if w.deadline is not None]
+            timeout = (
+                max(0.0, min(deadlines) - time.perf_counter()) if deadlines else None
+            )
+            conns = [w.conn for w in busy] + [self._wake_recv]
+            ready = set(connection_wait(conns, timeout))
+            if self._wake_recv in ready:
+                try:
+                    self._wake_recv.recv(65536)
+                except OSError:
+                    pass
+
+            now = time.perf_counter()
+            actions = []
+            with self._lock:
+                for worker in busy:
+                    if worker.conn in ready:
+                        self._collect_resident(worker, now, actions)
+                    elif worker.deadline is not None and now >= worker.deadline:
+                        self._expire_resident(worker, now, actions)
+            for action in actions:
+                action()
+        self._teardown()
+
+    def _assign_ready(self, actions: List[Callable[[], None]]) -> None:
+        """Hand queued jobs to idle workers (lock held)."""
+        for worker in list(self._crew):  # _replace mutates the crew
+            if not self._queue:
+                break
+            if worker.busy:
+                continue
+            job = self._queue.pop()
+            submission = self._submissions[job.job_id]
+            try:
+                worker.assign(job, None)
+            except (BrokenPipeError, OSError):
+                # The worker died while *idle*: the job never started, so
+                # retry it on a replacement (bounded — if fresh workers keep
+                # dying on arrival, fail the job rather than spin).
+                worker.job = None
+                self.crashes += 1
+                self._replace(worker)
+                failures = self._assign_failures.get(job.job_id, 0) + 1
+                self._assign_failures[job.job_id] = failures
+                if failures >= WorkerPool._MAX_ASSIGN_ATTEMPTS:
+                    self._finish(
+                        job,
+                        JobResult(
+                            job_id=job.job_id,
+                            name=job.name,
+                            status=JobStatus.FAILED,
+                            error=(
+                                "persistent worker died before accepting the "
+                                f"job ({failures} attempts)"
+                            ),
+                        ),
+                        actions,
+                    )
+                else:
+                    self._queue.push(job)
+                continue
+            if submission.on_event is not None:
+                event = JobEvent("start", job.job_id, job.name)
+                actions.append(lambda cb=submission.on_event, e=event: cb(e))
+
+    def _collect_resident(
+        self, worker: _PersistentWorker, now: float, actions: List[Callable[[], None]]
+    ) -> None:
+        """A busy worker's pipe is readable: an outcome, or it died (lock held)."""
+        job = worker.job
+        elapsed = now - worker.started
+        try:
+            outcome = worker.conn.recv()
+        except (EOFError, OSError):
+            outcome = None
+        if outcome is None:
+            self.crashes += 1
+            self._replace(worker)
+            result = JobResult(
+                job_id=job.job_id,
+                name=job.name,
+                status=JobStatus.FAILED,
+                error=(
+                    f"persistent worker died without reporting "
+                    f"(exit code {worker.process.exitcode})"
+                ),
+                seconds=elapsed,
+            )
+        else:
+            worker.job = None
+            worker.deadline = None
+            result = _result_from_outcome(job, outcome, outcome.get("seconds", elapsed))
+        self._finish(job, result, actions)
+
+    def _expire_resident(
+        self, worker: _PersistentWorker, now: float, actions: List[Callable[[], None]]
+    ) -> None:
+        """Hard deadline: kill the worker, report TIMEOUT (lock held)."""
+        job = worker.job
+        self.timeouts += 1
+        self._replace(worker)
+        self._finish(
+            job,
+            JobResult(
+                job_id=job.job_id,
+                name=job.name,
+                status=JobStatus.TIMEOUT,
+                error=f"killed after exceeding the {job.timeout:g}s job timeout",
+                seconds=now - worker.started,
+            ),
+            actions,
+        )
+
+    def _replace(self, worker: _PersistentWorker) -> None:
+        """Kill a dead/expired worker; keep the fleet at strength (lock held)."""
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        self._crew.remove(worker)
+        # A resident fleet must stay at strength for traffic that has not
+        # arrived yet — respawn unless the pool is on its way down with no
+        # queued work left.
+        if not self._stopping or self._queue:
+            self._crew.append(self._spawn())
+            self.respawns += 1
+
+    def _spawn(self) -> _PersistentWorker:
+        self.workers_spawned += 1
+        return _spawn_worker(self._context)
+
+    def _finish(
+        self, job: SynthesisJob, result: JobResult, actions: List[Callable[[], None]]
+    ) -> None:
+        """Queue the completion callbacks for one ended job (lock held)."""
+        submission = self._submissions.pop(job.job_id, None)
+        self._assign_failures.pop(job.job_id, None)
+        self.jobs_completed += 1
+        if submission is None:  # pragma: no cover - submissions are never dropped
+            return
+        if submission.on_event is not None:
+            if result.status is JobStatus.TIMEOUT:
+                kind = "timeout"
+            else:
+                kind = "done" if result.ok else "failed"
+            event = JobEvent(
+                kind, job.job_id, job.name, result.seconds, result.error_summary()
+            )
+            actions.append(lambda cb=submission.on_event, e=event: cb(e))
+        actions.append(lambda cb=submission.on_result, j=job, r=result: cb(j, r))
+
+    def _teardown(self) -> None:
+        """Stop the fleet; fail anything still outstanding (force stop only)."""
+        actions: List[Callable[[], None]] = []
+        with self._lock:
+            for worker in self._crew:
+                if worker.busy:
+                    job, worker.job = worker.job, None
+                    self._finish(
+                        job,
+                        JobResult(
+                            job_id=job.job_id,
+                            name=job.name,
+                            status=JobStatus.FAILED,
+                            error="resident pool shut down while the job was running",
+                        ),
+                        actions,
+                    )
+            while self._queue:
+                job = self._queue.pop()
+                self._finish(
+                    job,
+                    JobResult(
+                        job_id=job.job_id,
+                        name=job.name,
+                        status=JobStatus.FAILED,
+                        error="resident pool shut down before the job ran",
+                    ),
+                    actions,
+                )
+            crew, self._crew = self._crew, []
+        for worker in crew:
+            worker.shutdown()
+        for action in actions:
+            action()
+        self._wake_recv.close()
+        self._wake_send.close()

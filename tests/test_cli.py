@@ -324,3 +324,108 @@ class TestBatchCommand:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "ok     sander" in captured and "ok     soldering" in captured
+
+
+class TestDaemonCLI:
+    """The ``serve``/``submit`` pair: parser wiring plus one real daemon."""
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--socket", "/tmp/x.sock"])
+        assert args.jobs == 2
+        assert args.max_pending == 256
+        assert args.cache is None and args.timeout is None
+
+    def test_submit_requires_socket(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "a.csg"])
+
+    def test_submit_control_flags_are_exclusive(self):
+        args = build_parser().parse_args(
+            ["submit", "--socket", "/tmp/x.sock", "--health", "--stats"]
+        )
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["submit", "--socket", "/tmp/x.sock", "--health", "--stats"])
+        assert args.health and args.stats  # parsing itself is fine
+
+    def test_submit_nothing_to_do(self, capsys):
+        import socket as socket_module
+        import tempfile
+
+        # A live socket with no jobs requested: the CLI should say so
+        # without submitting anything.
+        with tempfile.TemporaryDirectory(prefix="szc.", dir="/tmp") as tdir:
+            path = f"{tdir}/d.sock"
+            listener = socket_module.socket(
+                socket_module.AF_UNIX, socket_module.SOCK_STREAM
+            )
+            listener.bind(path)
+            listener.listen(1)
+            try:
+                exit_code = main(["submit", "--socket", path])
+            finally:
+                listener.close()
+        assert exit_code == 2
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_serve_and_submit_end_to_end(self, capsys):
+        """Full lifecycle over real processes: serve, submit cold, submit
+        warm (cross-process cache hit), health, SIGTERM drain."""
+        import json as json_module
+        import os
+        import signal
+        import subprocess
+        import sys
+        import tempfile
+        import time
+
+        with tempfile.TemporaryDirectory(prefix="sze.", dir="/tmp") as tdir:
+            sock = f"{tdir}/d.sock"
+            model = Path(tdir) / "box.csg"
+            model.write_text(
+                format_term(
+                    union_all(
+                        [translate(2.0 * (i + 1), 0, 0, unit()) for i in range(3)]
+                    )
+                )
+            )
+            server = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.cli", "serve",
+                    "--socket", sock, "--jobs", "1", "--cache", f"{tdir}/cache",
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                env=os.environ.copy(),
+            )
+            try:
+                deadline = time.monotonic() + 30
+                while not Path(sock).exists():
+                    assert time.monotonic() < deadline, "daemon never bound its socket"
+                    assert server.poll() is None, server.stdout.read()
+                    time.sleep(0.05)
+
+                # The in-process submit command talks to the subprocess daemon.
+                assert main(["submit", "--socket", sock, str(model), "--wait"]) == 0
+                cold_out = capsys.readouterr().out
+                assert "ok     box" in cold_out and "0 from cache" in cold_out
+
+                assert main(["submit", "--socket", sock, str(model), "--wait"]) == 0
+                warm_out = capsys.readouterr().out
+                assert "cache:exact" in warm_out and "1 from cache" in warm_out
+
+                assert main(["submit", "--socket", sock, "--health"]) == 0
+                health = json_module.loads(capsys.readouterr().out)
+                assert health["ok"] and health["workers"]["crashes"] == 0
+                assert health["jobs"]["exact_hits"] == 1
+
+                server.send_signal(signal.SIGTERM)
+                server.wait(timeout=30)
+            finally:
+                if server.poll() is None:
+                    server.kill()
+                    server.wait()
+            output = server.stdout.read()
+            assert server.returncode == 0
+            assert "draining" in output and "daemon stopped" in output
+            assert not Path(sock).exists()

@@ -364,6 +364,37 @@ class TestWorkerPool:
         assert result.status is JobStatus.FAILED
         assert "exit code 13" in result.error
 
+    def test_oserror_on_the_result_pipe_is_a_failed_job_not_a_raised_batch(self):
+        # A dying worker can tear its pipe down as OSError (ECONNRESET)
+        # instead of a clean EOFError; both must collapse to the same
+        # "worker died" FAILED result instead of escaping _collect and
+        # sinking the whole batch.
+        from repro.service.worker import _Slot
+
+        class ResettingConn:
+            def recv(self):
+                raise OSError(104, "Connection reset by peer")
+
+            def close(self):
+                pass
+
+        class ReapedProcess:
+            exitcode = -9
+
+            def join(self, timeout=None):
+                pass
+
+        job = SynthesisJob(name="reset", term=_chain(2))
+        slot = _Slot(
+            job=job, process=ReapedProcess(), conn=ResettingConn(),
+            started=0.0, deadline=None,
+        )
+        events = []
+        result = WorkerPool(1)._collect(slot, now=1.0, on_event=events.append)
+        assert result.status is JobStatus.FAILED
+        assert "died without reporting" in result.error
+        assert any(e.kind == "failed" and e.name == "reset" for e in events)
+
     def test_hard_timeout_kills_the_worker(self):
         events = []
         jobs = [
@@ -581,3 +612,108 @@ class TestSynthesisService:
         report = SynthesisService(worker_count=0).run_files(paths)
         assert [r.name for r in report.results] == ["chain3", "chain4"]
         assert all(r.ok for r in report.results)
+
+
+# ---------------------------------------------------------------------------
+# Within-batch coalescing and job-id integrity
+# ---------------------------------------------------------------------------
+
+
+class TestBatchCoalescing:
+    def _counting_inline(self, monkeypatch):
+        """Monkeypatch the inline executor to record which jobs actually ran."""
+        import repro.service.service as service_module
+
+        executed = []
+        real = service_module.run_jobs_inline
+
+        def counting(jobs, on_event=None):
+            executed.extend(job.name for job in jobs)
+            return real(jobs, on_event)
+
+        monkeypatch.setattr(service_module, "run_jobs_inline", counting)
+        return executed
+
+    def test_duplicate_terms_execute_once_and_share_the_outcome(self, monkeypatch):
+        executed = self._counting_inline(monkeypatch)
+        term = _chain(3)
+        events = []
+        report = SynthesisService(worker_count=0, on_event=events.append).run_batch(
+            [
+                SynthesisJob(name="primary", term=term),
+                SynthesisJob(name="twin", term=term),
+                SynthesisJob(name="other", term=_chain(4)),
+            ]
+        )
+        # Coalescing needs no cache attached: only one copy of the
+        # duplicated term reached the executor.
+        assert executed == ["primary", "other"]
+        primary = report.result_for("primary")
+        twin = report.result_for("twin")
+        assert primary.ok and not primary.cached
+        assert twin.ok and twin.cached and twin.cache_tier == "batch"
+        # Differential: the follower reports the primary's exact outcome.
+        assert [c.term for c in twin.result.candidates] == [
+            c.term for c in primary.result.candidates
+        ]
+        assert report.batch_hits == 1 and report.cache_hits == 1
+        assert report.to_dict()["batch_hits"] == 1
+        assert any(
+            e.kind == "cache-hit" and e.name == "twin" and e.message == "batch"
+            for e in events
+        )
+
+    def test_config_differences_do_not_coalesce(self, monkeypatch):
+        executed = self._counting_inline(monkeypatch)
+        term = _chain(3)
+        report = SynthesisService(worker_count=0).run_batch(
+            [
+                SynthesisJob(name="default", term=term),
+                SynthesisJob(
+                    name="looser", term=term, config=SynthesisConfig(epsilon=1e-2)
+                ),
+            ]
+        )
+        # The cache key folds in the config, so these are NOT interchangeable.
+        assert executed == ["default", "looser"]
+        assert report.batch_hits == 0
+
+    def test_failed_primary_is_mirrored_onto_followers(self):
+        bad_config = SynthesisConfig(cost_function="no-such")
+        term = _chain(3)
+        report = SynthesisService(worker_count=0).run_batch(
+            [
+                SynthesisJob(name="bad", term=term, config=bad_config),
+                SynthesisJob(name="bad-twin", term=term, config=bad_config),
+            ]
+        )
+        primary = report.result_for("bad")
+        twin = report.result_for("bad-twin")
+        assert primary.status is JobStatus.FAILED
+        assert twin.status is JobStatus.FAILED
+        assert not twin.cached  # a mirrored failure is not a served result
+        assert "coalesced with identical job" in twin.error
+        assert primary.job_id in twin.error
+
+    def test_coalesced_followers_still_populate_nothing_extra_in_cache(
+        self, tmp_path, monkeypatch
+    ):
+        executed = self._counting_inline(monkeypatch)
+        cache = ResultCache(tmp_path)
+        term = _chain(3)
+        report = SynthesisService(worker_count=0, cache=cache).run_batch(
+            [SynthesisJob(name="a", term=term), SynthesisJob(name="b", term=term)]
+        )
+        assert executed == ["a"]
+        assert report.batch_hits == 1
+        # One execution, one store: the follower added no cache traffic.
+        assert cache.stores == 1
+
+    def test_duplicate_job_ids_are_rejected_up_front(self):
+        term = _chain(2)
+        jobs = [
+            SynthesisJob(name="a", term=term, job_id="same"),
+            SynthesisJob(name="b", term=_chain(3), job_id="same"),
+        ]
+        with pytest.raises(ValueError, match="duplicate job ids.*same"):
+            SynthesisService(worker_count=0).run_batch(jobs)
