@@ -9,6 +9,8 @@ Usage examples::
     szalinski batch a.csg b.csg --jobs 2       # batch-synthesize many flat CSG files
     szalinski serve --socket /tmp/sz.sock --jobs 4 --cache .cache   # resident daemon
     szalinski submit --socket /tmp/sz.sock a.csg --wait             # job via the daemon
+    szalinski stats --socket /tmp/sz.sock --percentiles             # latency percentiles
+    szalinski trace spans.jsonl --chrome out.json                   # Perfetto conversion
 
 The synthesis knobs (``--epsilon``, ``--top-k``/``--topk``, ``--cost``,
 ``--rewrite-iterations``, ``--max-enodes``, ``--max-seconds``,
@@ -122,15 +124,37 @@ def _write_report(path: Optional[str], payload: dict) -> None:
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
-    text = Path(args.input).read_text()
-    csg = parse_csg(text, strict=False)
-    result = synthesize(csg, _config_from_args(args))
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+    name = Path(args.input).stem
+    csg = None
+    if tracer is not None:
+        with tracer.span("job", {"name": name}):
+            with tracer.span("parse"):
+                csg = parse_csg(Path(args.input).read_text(), strict=False)
+            result = synthesize(csg, _config_from_args(args), tracer=tracer)
+            if args.validate:
+                report = validate_synthesis(csg, result.output_term(), tracer=tracer)
+    else:
+        csg = parse_csg(Path(args.input).read_text(), strict=False)
+        result = synthesize(csg, _config_from_args(args))
+        if args.validate:
+            report = validate_synthesis(csg, result.output_term())
     for candidate in result.candidates:
         print(f"-- rank {candidate.rank} (cost {candidate.cost:g}, loops={candidate.has_loops})")
         print(format_openscad_like(candidate.term))
     if args.validate:
-        report = validate_synthesis(csg, result.output_term())
         print(f"-- validation: {'OK' if report.valid else 'FAILED'}")
+    if tracer is not None:
+        from repro.obs.export import span_lines, write_trace_jsonl
+
+        count = write_trace_jsonl(
+            Path(args.trace), span_lines(f"synth:{name}", name, tracer.export())
+        )
+        print(f"-- trace: {count} span(s) appended to {args.trace}")
     print(
         f"-- {result.seconds:.2f}s, loops {result.loop_summary()}, "
         f"functions {result.function_summary()}, "
@@ -220,8 +244,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache=cache,
         on_event=_print_event,
         persistent=args.persistent_workers,
+        trace=bool(args.trace),
     )
     batch = service.run_batch(jobs)
+    if args.trace:
+        from repro.obs.export import span_lines, write_trace_jsonl
+
+        written = 0
+        for result in batch.results:
+            if result.trace:
+                written += write_trace_jsonl(
+                    Path(args.trace),
+                    span_lines(result.job_id, result.name, result.trace),
+                )
+        print(f"-- trace: {written} span(s) appended to {args.trace}")
 
     failures = build_failures + batch.failed
     for result in batch.results:
@@ -267,6 +303,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=cache,
         max_pending=args.max_pending,
         default_timeout=args.timeout,
+        trace_jobs=not args.no_job_tracing,
+        trace_path=args.trace,
     )
     daemon.start()
 
@@ -401,6 +439,57 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 0 if not failed else 1
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Query a running daemon's stats frame; render latency percentiles."""
+    from repro.service.protocol import DaemonClient
+
+    try:
+        client = DaemonClient(args.socket, timeout=args.connect_timeout)
+    except OSError as exc:
+        raise SystemExit(f"stats: cannot reach daemon at {args.socket}: {exc}")
+    with client:
+        frame = client.stats()
+    if args.percentiles:
+        from repro.obs.histogram import format_latency_table
+
+        print(format_latency_table(frame.get("latency")))
+    else:
+        print(json.dumps(frame, indent=2))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize a JSONL trace file; optionally convert it for Perfetto."""
+    from repro.obs.export import read_trace_jsonl, write_chrome_trace
+    from repro.obs.histogram import LatencyHistogram, format_latency_table
+
+    try:
+        records = read_trace_jsonl(Path(args.input))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"trace: cannot read {args.input}: {exc}")
+    jobs = {str(record.get("job_id", "?")) for record in records}
+    phases = {}
+    root_hist = LatencyHistogram()
+    for record in records:
+        name = record.get("name", "?")
+        phases.setdefault(name, LatencyHistogram()).record(record.get("duration", 0.0))
+        if record.get("parent_id") is None:
+            root_hist.record(record.get("duration", 0.0))
+    snapshot = {
+        "jobs": root_hist.to_dict(),
+        "phases": {name: hist.to_dict() for name, hist in sorted(phases.items())},
+    }
+    print(f"{len(records)} span(s) from {len(jobs)} job(s) in {args.input}")
+    print(format_latency_table(snapshot))
+    if args.chrome:
+        events = write_chrome_trace(Path(args.chrome), records)
+        print(
+            f"-- wrote {events} trace event(s) to {args.chrome} "
+            "(open at https://ui.perfetto.dev or chrome://tracing)"
+        )
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     for benchmark in BENCHMARKS:
         structure = "structured" if benchmark.expects_structure else "no structure"
@@ -464,6 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     synth.add_argument("input", help="path to an s-expression CSG file")
     synth.add_argument("--validate", action="store_true", help="validate the output by unrolling")
+    synth.add_argument(
+        "--trace", metavar="FILE",
+        help="append per-phase span records (JSONL, one span per line) to FILE",
+    )
     synth.set_defaults(func=_cmd_synth)
 
     flatten = subparsers.add_parser("flatten", help="flatten an OpenSCAD file to flat CSG")
@@ -539,6 +632,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--timeout", type=float, default=None, help="per-job timeout in seconds")
     batch.add_argument("--report", help="write a JSON batch report")
+    batch.add_argument(
+        "--trace", metavar="FILE",
+        help="run every job with per-phase span tracing and append the spans "
+        "to FILE (JSONL, one span per line; convert with `szalinski trace`)",
+    )
     batch.set_defaults(func=_cmd_batch)
 
     serve = subparsers.add_parser(
@@ -571,6 +669,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--timeout", type=float, default=None,
         help="default per-job timeout in seconds for jobs that do not set one",
+    )
+    serve.add_argument(
+        "--trace", metavar="FILE",
+        help="append every finished job's span records to FILE "
+        "(JSONL, one span per line; convert with `szalinski trace`)",
+    )
+    serve.add_argument(
+        "--no-job-tracing", action="store_true",
+        help="disable per-job span tracing (the stats frame then reports "
+        "end-to-end latency percentiles only, without per-phase families)",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -615,6 +723,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--report", help="write a JSON report of the submission")
     submit.set_defaults(func=_cmd_submit)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="query a running daemon's statistics (latency percentiles and counters)",
+    )
+    stats.add_argument(
+        "--socket", required=True, help="Unix-domain socket of the daemon"
+    )
+    stats.add_argument(
+        "--percentiles", action="store_true",
+        help="render the latency section as a per-phase/-model/-tier "
+        "p50/p95/p99 table instead of dumping the raw JSON frame",
+    )
+    stats.add_argument(
+        "--connect-timeout", type=float, default=60.0,
+        help="socket timeout in seconds for daemon I/O",
+    )
+    stats.set_defaults(func=_cmd_stats)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="summarize a JSONL span trace and/or convert it to Chrome "
+        "trace_event JSON for Perfetto",
+    )
+    trace.add_argument("input", help="JSONL trace file (from --trace)")
+    trace.add_argument(
+        "--chrome", metavar="OUT",
+        help="write Chrome trace_event JSON to OUT (open in Perfetto)",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     lister = subparsers.add_parser("list", help="list the benchmark suite")
     lister.set_defaults(func=_cmd_list)

@@ -32,6 +32,7 @@ from repro.egraph.pattern import CompiledRuleSet
 from repro.egraph.runner import BackoffConfig, Runner, RunnerLimits, RunReport
 from repro.lang.canon import canonical_term_text, term_from_canonical
 from repro.lang.term import Term
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -175,42 +176,55 @@ def synthesize(
     config: Optional[SynthesisConfig] = None,
     *,
     rules: Optional[Sequence] = None,
+    tracer=None,
 ) -> SynthesisResult:
     """Run Szalinski on a flat CSG term and return the top-k LambdaCAD programs.
 
     ``rules`` overrides the rewrite-rule set (used by ablation benchmarks);
     by default the rule categories named in the config are used.
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) records per-phase spans:
+    ``saturate`` and ``determinize`` per outer iteration (each ``saturate``
+    containing per-iteration ``search``/``apply``/``rebuild`` children via
+    the runner), then ``extract``.  The caller owns the enclosing root span
+    (the worker wraps everything in a ``job`` span); when ``tracer`` is
+    omitted the shared null tracer makes every span a no-op.
     """
     config = config or SynthesisConfig()
+    tracer = NULL_TRACER if tracer is None else tracer
     start = time.perf_counter()
 
-    egraph = EGraph()
-    root = egraph.add_term(csg)
+    with tracer.span("setup") as setup_span:
+        egraph = EGraph()
+        root = egraph.add_term(csg)
 
-    rule_set = list(rules) if rules is not None else default_rules(list(config.rule_categories))
-    limits = RunnerLimits(
-        max_iterations=config.rewrite_iterations,
-        max_enodes=config.max_enodes,
-        max_seconds=config.max_seconds,
-    )
-    backoff = BackoffConfig(
-        match_limit=config.rule_match_limit,
-        ban_length=config.rule_ban_length,
-    )
-    # Compile the rule patterns into the shared discrimination trie once;
-    # every saturation run of the outer loop reuses it.
-    compiled = CompiledRuleSet(rule_set) if config.incremental_search else None
-    # The incremental cost analysis rides along during saturation (the
-    # runner registers it): single-best extraction — extract_any and every
-    # determinizer query inside the arithmetic components — then reads
-    # ready-made (best cost, witness) pairs instead of recomputing a
-    # worklist fixpoint per extractor.
-    analyses = [CostAnalysis(ast_size_cost)] if config.incremental_extraction else []
+        rule_set = (
+            list(rules) if rules is not None else default_rules(list(config.rule_categories))
+        )
+        limits = RunnerLimits(
+            max_iterations=config.rewrite_iterations,
+            max_enodes=config.max_enodes,
+            max_seconds=config.max_seconds,
+        )
+        backoff = BackoffConfig(
+            match_limit=config.rule_match_limit,
+            ban_length=config.rule_ban_length,
+        )
+        # Compile the rule patterns into the shared discrimination trie once;
+        # every saturation run of the outer loop reuses it.
+        compiled = CompiledRuleSet(rule_set) if config.incremental_search else None
+        # The incremental cost analysis rides along during saturation (the
+        # runner registers it): single-best extraction — extract_any and every
+        # determinizer query inside the arithmetic components — then reads
+        # ready-made (best cost, witness) pairs instead of recomputing a
+        # worklist fixpoint per extractor.
+        analyses = [CostAnalysis(ast_size_cost)] if config.incremental_extraction else []
+        if setup_span is not None:
+            setup_span.update({"rules": len(rule_set), "enodes": egraph.total_enodes})
 
     inference_records: List[InferenceRecord] = []
     run_reports: List[RunReport] = []
 
-    for _ in range(max(1, config.main_iterations)):
+    for outer in range(max(1, config.main_iterations)):
         runner = Runner(
             rule_set,
             limits,
@@ -219,48 +233,80 @@ def synthesize(
             compiled=compiled,
             analyses=analyses,
             dedup=config.apply_dedup,
+            tracer=tracer,
         )
-        run_reports.append(runner.run(egraph))
+        with tracer.span("saturate") as sat_span:
+            run_report = runner.run(egraph)
+            run_reports.append(run_report)
+            if sat_span is not None:
+                sat_span.update(
+                    {
+                        "outer_iteration": outer,
+                        "iterations": len(run_report.iterations),
+                        "stop_reason": run_report.stop_reason.value,
+                        "enodes": egraph.total_enodes,
+                        "classes": len(egraph),
+                    }
+                )
 
-        changed = False
-        if config.enable_function_inference:
-            function_inference = FunctionInference(egraph, config)
-            if function_inference.run():
-                changed = True
-            inference_records.extend(function_inference.records)
-        if config.enable_loop_inference:
-            loop_inference = LoopInference(egraph, config)
-            if loop_inference.run():
-                changed = True
-            inference_records.extend(loop_inference.records)
-        egraph.rebuild()
+        with tracer.span("determinize") as det_span:
+            records_before = len(inference_records)
+            changed = False
+            if config.enable_function_inference:
+                function_inference = FunctionInference(egraph, config)
+                if function_inference.run():
+                    changed = True
+                inference_records.extend(function_inference.records)
+            if config.enable_loop_inference:
+                loop_inference = LoopInference(egraph, config)
+                if loop_inference.run():
+                    changed = True
+                inference_records.extend(loop_inference.records)
+            egraph.rebuild()
+            if det_span is not None:
+                det_span.update(
+                    {
+                        "outer_iteration": outer,
+                        "changed": changed,
+                        "inference_records": len(inference_records) - records_before,
+                    }
+                )
         if not changed:
             break
 
     cost_function = get_cost_function(config.cost_function)
     extract_start = time.perf_counter()
-    extractor = TopKExtractor(egraph, cost_function, k=config.top_k, roots=[root])
+    with tracer.span("extract") as ext_span:
+        extractor = TopKExtractor(egraph, cost_function, k=config.top_k, roots=[root])
 
-    # Combine two views of the root e-class: one candidate per distinct root
-    # e-node (this is what gives the returned set its diversity — the lifted
-    # flat variant, the folded/structured variant, and the original chain are
-    # different root e-nodes) plus the globally cheapest terms, de-duplicated
-    # and capped at top-k.
-    per_enode = extractor.best_per_enode(root)
-    global_top = extractor.extract_top_k(root)
-    combined = []
-    seen_terms = set()
-    for entry in per_enode + global_top:
-        if entry.term in seen_terms:
-            continue
-        seen_terms.add(entry.term)
-        combined.append(entry)
-    combined.sort(key=lambda entry: entry.cost)
-    combined = combined[: config.top_k]
-    candidates = [
-        CandidateProgram(rank=index + 1, cost=entry.cost, term=entry.term)
-        for index, entry in enumerate(combined)
-    ]
+        # Combine two views of the root e-class: one candidate per distinct root
+        # e-node (this is what gives the returned set its diversity — the lifted
+        # flat variant, the folded/structured variant, and the original chain are
+        # different root e-nodes) plus the globally cheapest terms, de-duplicated
+        # and capped at top-k.
+        per_enode = extractor.best_per_enode(root)
+        global_top = extractor.extract_top_k(root)
+        combined = []
+        seen_terms = set()
+        for entry in per_enode + global_top:
+            if entry.term in seen_terms:
+                continue
+            seen_terms.add(entry.term)
+            combined.append(entry)
+        combined.sort(key=lambda entry: entry.cost)
+        combined = combined[: config.top_k]
+        candidates = [
+            CandidateProgram(rank=index + 1, cost=entry.cost, term=entry.term)
+            for index, entry in enumerate(combined)
+        ]
+        if ext_span is not None:
+            ext_span.update(
+                {
+                    "top_k": config.top_k,
+                    "candidates": len(candidates),
+                    "best_cost": candidates[0].cost if candidates else 0.0,
+                }
+            )
     extract_seconds = time.perf_counter() - extract_start
 
     return SynthesisResult(

@@ -57,6 +57,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.egraph.egraph import Analysis, EGraph
 from repro.egraph.pattern import CompiledRuleSet, IncrementalMatcher
 from repro.egraph.rewrite import BaseRewrite, RewriteMatch
+from repro.obs.trace import NULL_TRACER
 
 
 class StopReason(Enum):
@@ -283,8 +284,13 @@ class Runner:
         compiled: Optional[CompiledRuleSet] = None,
         analyses: Sequence[Analysis] = (),
         dedup: Optional[bool] = None,
+        tracer=None,
     ):
         self.rules = list(rules)
+        #: Structured tracing sink (``repro.obs.trace``); the shared
+        #: ``NULL_TRACER`` singleton when tracing is off, so the hot loop
+        #: pays one no-op ``with`` per phase and allocates nothing.
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.limits = limits or RunnerLimits()
         self.backoff = backoff or BackoffConfig()
         self.scheduler = BackoffScheduler(self.backoff)
@@ -518,31 +524,53 @@ class Runner:
         self._ledger_stamp = egraph.union_version
 
         iteration = 0
+        tracer = self.tracer
         while iteration < self.limits.max_iterations:
-            iteration_start = time.perf_counter()
-            version_before = egraph.version
-            updates_before = egraph.analysis_updates
-            created_before = egraph.enodes_created
-            it_report = IterationReport(index=iteration)
+            with tracer.span("iteration") as it_span:
+                iteration_start = time.perf_counter()
+                version_before = egraph.version
+                updates_before = egraph.analysis_updates
+                created_before = egraph.enodes_created
+                it_report = IterationReport(index=iteration)
 
-            searched = self._search_phase(egraph, iteration, it_report)
-            it_report.search_seconds = time.perf_counter() - iteration_start
+                with tracer.span("search"):
+                    searched = self._search_phase(egraph, iteration, it_report)
+                it_report.search_seconds = time.perf_counter() - iteration_start
 
-            apply_start = time.perf_counter()
-            stop = self._apply_phase(egraph, searched, start, it_report)
-            it_report.apply_seconds = time.perf_counter() - apply_start
+                apply_start = time.perf_counter()
+                with tracer.span("apply"):
+                    stop = self._apply_phase(egraph, searched, start, it_report)
+                it_report.apply_seconds = time.perf_counter() - apply_start
 
-            rebuild_start = time.perf_counter()
-            egraph.rebuild()
-            self._prune_ledgers(egraph)
-            it_report.rebuild_seconds = time.perf_counter() - rebuild_start
+                rebuild_start = time.perf_counter()
+                with tracer.span("rebuild"):
+                    egraph.rebuild()
+                    self._prune_ledgers(egraph)
+                it_report.rebuild_seconds = time.perf_counter() - rebuild_start
 
-            it_report.enodes_created = egraph.enodes_created - created_before
-            it_report.enodes_after = egraph.total_enodes
-            it_report.classes_after = len(egraph)
-            it_report.analysis_updates = egraph.analysis_updates - updates_before
-            it_report.seconds = time.perf_counter() - iteration_start
-            report.iterations.append(it_report)
+                it_report.enodes_created = egraph.enodes_created - created_before
+                it_report.enodes_after = egraph.total_enodes
+                it_report.classes_after = len(egraph)
+                it_report.analysis_updates = egraph.analysis_updates - updates_before
+                it_report.seconds = time.perf_counter() - iteration_start
+                report.iterations.append(it_report)
+                if it_span is not None:
+                    it_span.update(
+                        {
+                            "index": it_report.index,
+                            "matches": sum(it_report.matches.values()),
+                            "firings": sum(it_report.firings.values()),
+                            "banned": len(it_report.banned),
+                            "applied_matches": it_report.applied_matches,
+                            "skipped_applications": it_report.skipped_applications,
+                            "enodes_created": it_report.enodes_created,
+                            "enodes_after": it_report.enodes_after,
+                            "classes_after": it_report.classes_after,
+                            "searched_classes": it_report.searched_classes,
+                            "cached_matches": it_report.cached_matches,
+                            "analysis_updates": it_report.analysis_updates,
+                        }
+                    )
 
             if stop is not None:
                 report.stop_reason = stop

@@ -1,0 +1,44 @@
+"""Observability: structured tracing, latency histograms, and exporters.
+
+The package is the cross-cutting measurement layer of the synthesis
+pipeline and its serving stack:
+
+* :mod:`repro.obs.trace` — a zero-overhead-when-disabled span tracer
+  (context-manager spans with parent links, monotonic timestamps, and
+  typed attributes) threaded through ``synthesize``, the saturation
+  runner, and the validator.
+* :mod:`repro.obs.histogram` — fixed log-scale-bucket latency histograms
+  with exact-rank p50/p95/p99 derivation, and the
+  :class:`~repro.obs.histogram.MetricsAggregator` the batch service and
+  the resident daemon use to stream per-phase / per-model / per-cache-tier
+  percentiles into their reports and ``stats`` frames.
+* :mod:`repro.obs.export` — JSONL span export (one span per line) and the
+  Chrome ``trace_event`` converter that makes a trace openable in
+  Perfetto (``szalinski trace FILE --chrome OUT``).
+"""
+
+from repro.obs.histogram import LatencyHistogram, MetricsAggregator, format_latency_table
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, validate_spans
+from repro.obs.export import (
+    chrome_trace,
+    read_trace_jsonl,
+    span_lines,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "LatencyHistogram",
+    "MetricsAggregator",
+    "format_latency_table",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "validate_spans",
+    "chrome_trace",
+    "read_trace_jsonl",
+    "span_lines",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,110 @@
+"""Trace export: JSONL span streams and the Chrome trace_event converter.
+
+The on-disk trace format is JSON Lines — one span per line, each the
+span's exported dict plus ``job_id`` and ``model`` so spans from many
+jobs interleave safely in one file.  ``chrome_trace`` converts such a
+stream into Chrome's ``trace_event`` JSON (complete ``"ph": "X"`` events
+with microsecond timestamps, one pid per job) which opens directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "span_lines",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def span_lines(job_id: str, model: str, spans: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Stamp an exported span list with its job identity for JSONL output."""
+    lines = []
+    for span in spans:
+        record = dict(span)
+        record["job_id"] = job_id
+        record["model"] = model
+        lines.append(record)
+    return lines
+
+
+def write_trace_jsonl(path: Path, lines: Iterable[Dict[str, Any]]) -> int:
+    """Append span records to ``path``; returns the number written."""
+    count = 0
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in lines:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_trace_jsonl(path: Path) -> List[Dict[str, Any]]:
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert JSONL span records into Chrome trace_event JSON.
+
+    Each distinct ``job_id`` becomes one pid with a ``process_name``
+    metadata event; spans become complete events (``"ph": "X"``) whose
+    ``ts``/``dur`` are microseconds on a shared absolute timeline
+    normalized to the earliest span so Perfetto's viewport starts at 0.
+    """
+    records = list(records)
+    events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+    base_wall: Optional[float] = None
+    for record in records:
+        wall = record.get("wall")
+        if wall is not None and (base_wall is None or wall < base_wall):
+            base_wall = wall
+    base_wall = base_wall or 0.0
+    for record in records:
+        job_id = str(record.get("job_id", "?"))
+        pid = pids.get(job_id)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[job_id] = pid
+            label = record.get("model") or job_id
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"{label} ({job_id})"},
+                }
+            )
+        wall = record.get("wall", base_wall)
+        event: Dict[str, Any] = {
+            "ph": "X",
+            "name": record.get("name", "?"),
+            "pid": pid,
+            "tid": 1,
+            "ts": (wall - base_wall) * 1e6,
+            "dur": record.get("duration", 0.0) * 1e6,
+        }
+        attrs = record.get("attrs")
+        if attrs:
+            event["args"] = attrs
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: Path, records: Iterable[Dict[str, Any]]) -> int:
+    trace = chrome_trace(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+    return sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")

@@ -1,0 +1,223 @@
+"""Span-based structured tracing with a zero-overhead disabled path.
+
+A :class:`Tracer` records a tree of :class:`Span` objects.  Spans are
+context managers::
+
+    tracer = Tracer()
+    with tracer.span("saturate") as sp:
+        ...
+        if sp is not None:
+            sp.set("iterations", n)
+
+Timing uses ``time.perf_counter()`` (monotonic); every span stores its
+start/end relative to the tracer's origin, and the tracer remembers the
+wall-clock time of that origin so exported spans can be placed on an
+absolute timeline.
+
+The disabled path is :data:`NULL_TRACER`, a process-wide singleton whose
+``span()`` method returns one shared no-op span object whose
+``__enter__`` returns ``None``.  Instrumented code therefore pays one
+method call and one ``with`` block per span and **allocates nothing** —
+no ``Span``, no attribute dict, no list append.  Call sites guard
+attribute writes with ``if sp is not None:`` so even attribute plumbing
+is free when tracing is off.
+
+A tracer instance is single-threaded by design: each worker builds its
+own tracer for its own job, and aggregation across jobs happens in
+:class:`repro.obs.histogram.MetricsAggregator` under the owner's lock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "validate_spans"]
+
+_ATTR_TYPES = (bool, int, float, str)
+
+
+class Span:
+    """One timed interval in a trace, usable as a context manager."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attrs", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int, attrs: Optional[Dict[str, Any]] = None) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id: Optional[int] = None
+        self.start: float = 0.0
+        self.end: Optional[float] = None
+        self.attrs: Optional[Dict[str, Any]] = None
+        if attrs:
+            for key, value in attrs.items():
+                self.set(key, value)
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach a typed attribute (bool/int/float/str/None; else str())."""
+        if value is not None and not isinstance(value, _ATTR_TYPES):
+            value = str(value)
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+
+    def update(self, attrs: Dict[str, Any]) -> None:
+        for key, value in attrs.items():
+            self.set(key, value)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._exit(self, exc_type)
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end if self.end is not None else self.start,
+            "duration": self.duration,
+            "wall": self._tracer.origin_wall + self.start,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, dur={self.duration:.6f})"
+
+
+class _NullSpan:
+    """Shared no-op span: ``__enter__`` yields ``None`` so call sites skip attrs."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a tree of spans for one job / one pipeline invocation."""
+
+    enabled = True
+
+    __slots__ = ("origin", "origin_wall", "finished", "_stack", "_next_id")
+
+    def __init__(self) -> None:
+        self.origin = time.perf_counter()
+        self.origin_wall = time.time()
+        self.finished: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> Span:
+        self._next_id += 1
+        return Span(self, name, self._next_id, attrs)
+
+    def _enter(self, span: Span) -> None:
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+        span.start = time.perf_counter() - self.origin
+        self._stack.append(span)
+
+    def _exit(self, span: Span, exc_type) -> None:
+        span.end = time.perf_counter() - self.origin
+        if exc_type is not None:
+            span.set("error", exc_type.__name__)
+        # Tolerate mis-nested exits instead of corrupting the stack.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - defensive
+            self._stack.remove(span)
+        self.finished.append(span)
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    def export(self) -> List[Dict[str, Any]]:
+        """Finished spans as plain dicts, ordered by start time."""
+        return [s.to_dict() for s in sorted(self.finished, key=lambda s: (s.start, s.span_id))]
+
+
+class NullTracer:
+    """Disabled tracer: every ``span()`` returns the same shared no-op object."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def finished(self) -> List[Span]:
+        return []
+
+    @property
+    def open_spans(self) -> int:
+        return 0
+
+    def export(self) -> List[Dict[str, Any]]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+# Nested child intervals may exceed the parent's by scheduler noise at
+# this scale without indicating a structural bug.
+_NEST_SLACK = 1e-6
+
+
+def validate_spans(spans: Iterable[Dict[str, Any]]) -> List[str]:
+    """Check an exported span list is a well-formed tree.
+
+    Returns a list of human-readable problems (empty == well-formed):
+    unique ids, every span closed (``end >= start``), parent links
+    resolve, and child intervals nest inside their parent's interval.
+    """
+    problems: List[str] = []
+    by_id: Dict[int, Dict[str, Any]] = {}
+    for span in spans:
+        sid = span.get("span_id")
+        if sid in by_id:
+            problems.append(f"duplicate span_id {sid}")
+        by_id[sid] = span
+    for span in by_id.values():
+        name = span.get("name", "?")
+        start, end = span.get("start"), span.get("end")
+        if start is None or end is None:
+            problems.append(f"span {name!r} never closed")
+            continue
+        if end + _NEST_SLACK < start:
+            problems.append(f"span {name!r} ends before it starts ({start} > {end})")
+        parent_id = span.get("parent_id")
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            problems.append(f"span {name!r} has dangling parent_id {parent_id}")
+            continue
+        if start + _NEST_SLACK < parent["start"] or end > parent["end"] + _NEST_SLACK:
+            problems.append(
+                f"span {name!r} [{start}, {end}] escapes parent "
+                f"{parent.get('name', '?')!r} [{parent['start']}, {parent['end']}]"
+            )
+    return problems

@@ -26,7 +26,15 @@ everything on shared, warm infrastructure:
   degrades into fast rejections instead of an unbounded backlog.
 * **observability** — ``health`` and ``stats`` request types expose
   uptime, queue depth, worker crash/respawn counters, and per-tier cache
-  counters while jobs run.
+  counters while jobs run; every frame is snapshotted under the daemon
+  lock in one critical section, so it can never report torn values
+  mid-schedule.  With ``trace_jobs`` (the default) every executed job
+  carries a per-phase span trace (:mod:`repro.obs`): the daemon streams
+  span durations into latency histograms per phase / per model / per
+  cache tier, serves exact-rank p50/p95/p99 in the ``stats`` frame's
+  ``latency`` section (``szalinski stats --percentiles`` renders it),
+  and, when ``trace_path`` is set, appends every span to a JSONL trace
+  file (``szalinski trace`` converts it for Perfetto).
 
 Failure containment at the wire: a client that sends a malformed frame is
 answered with one ``error`` frame and has *its* connection closed; a
@@ -51,6 +59,8 @@ from typing import Dict, List, Optional, Set
 
 from repro.core.config import SynthesisConfig
 from repro.core.pipeline import SynthesisResult
+from repro.obs.export import span_lines, write_trace_jsonl
+from repro.obs.histogram import MetricsAggregator
 from repro.service.cache import ResultCache, cache_key, semantic_cache_key
 from repro.service.job import JobEvent, JobResult, JobStatus, SynthesisJob
 from repro.service.protocol import ProtocolError, recv_frame, send_frame
@@ -113,6 +123,8 @@ class SynthesisDaemon:
         max_pending: int = 256,
         default_timeout: Optional[float] = None,
         start_method: Optional[str] = None,
+        trace_jobs: bool = True,
+        trace_path=None,
     ):
         if worker_count < 1:
             raise ValueError("the daemon needs at least one worker")
@@ -124,6 +136,20 @@ class SynthesisDaemon:
         self.max_pending = max_pending
         self.default_timeout = default_timeout
         self._start_method = start_method
+        #: Run every executed job with per-phase span tracing so the stats
+        #: frame can serve per-phase percentiles.  The trace flag is not part
+        #: of the cache identity and the spans stay out of wire frames, so
+        #: the only cost is the tracer's bookkeeping inside the worker.
+        self.trace_jobs = trace_jobs
+        #: When set, every finished job's spans are appended here as JSONL
+        #: (one span per line); ``szalinski trace`` converts the file to
+        #: Chrome trace_event JSON for Perfetto.
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        #: Streaming latency histograms (per phase / per model / per cache
+        #: tier) served in the ``stats`` frame; guarded by ``_lock``.
+        self.metrics = MetricsAggregator()
+        #: Serializes JSONL appends from concurrent completion callbacks.
+        self._trace_lock = threading.Lock()
 
         #: Guards tracks, coalescing, counters, AND the cache — cache reads
         #: and writes must be atomic with in-flight registration, or a job
@@ -404,12 +430,19 @@ class SynthesisDaemon:
                     else None
                 )
                 if self.cache is not None:
+                    lookup_start = time.perf_counter()
                     payload, tier = self.cache.lookup(key, semantic_key)
                     if payload is not None:
                         self._counters["cache_hits"] += 1
                         self._counters[f"{tier}_hits"] += 1
                         self._counters["completed"] += 1
                         self._counters["succeeded"] += 1
+                        # A hit's end-to-end latency is the lookup itself.
+                        self.metrics.ingest(
+                            model=job.name,
+                            seconds=time.perf_counter() - lookup_start,
+                            cache_tier=tier,
+                        )
                         immediate.append(
                             JobResult(
                                 job_id=job.job_id,
@@ -483,6 +516,7 @@ class SynthesisDaemon:
             config=config,
             priority=int(spec.get("priority", 0)),
             timeout=float(timeout) if timeout is not None else None,
+            trace=self.trace_jobs,
             job_id=job_id,
         )
         # Same identity rule as the batch service: a timeout that clamps
@@ -516,9 +550,23 @@ class SynthesisDaemon:
             followers = track.followers
             self._pending -= 1 + len(followers)
             self._count_completion(result, copies=1 + len(followers))
+            self.metrics.ingest(
+                model=job.name, seconds=result.seconds, trace=result.trace
+            )
+            for follower in followers:
+                if not result.ok:
+                    continue
+                # A coalesced duplicate's effective latency is the primary
+                # execution it waited on.
+                self.metrics.ingest(
+                    model=follower.job.name,
+                    seconds=result.seconds,
+                    cache_tier="batch",
+                )
             if result.ok and self.cache is not None:
                 payload = result.result_payload or result.result.to_dict()
                 self.cache.put(track.key, payload, track.semantic_key)
+        self._write_trace(result)
         if track.wait and track.client is not None:
             track.client.send({"type": "result", "job": result.to_dict()})
         for follower in followers:
@@ -538,27 +586,57 @@ class SynthesisDaemon:
         else:
             self._counters["failed"] += copies
 
+    def _write_trace(self, result: JobResult) -> None:
+        """Append a finished job's spans to the JSONL trace file, if any."""
+        if self.trace_path is None or not result.trace:
+            return
+        lines = span_lines(result.job_id, result.name, result.trace)
+        try:
+            with self._trace_lock:
+                write_trace_jsonl(self.trace_path, lines)
+        except OSError:  # pragma: no cover - tracing must never sink a job
+            pass
+
     # -- observability ---------------------------------------------------------
 
-    def _health_frame(self) -> dict:
-        workers = self._pool.snapshot() if self._pool is not None else {}
+    def _observability_frame(self, kind: str) -> dict:
+        """One atomic snapshot of every mutable counter the frame reports.
+
+        Queue depth, the in-flight map, job counters, cache counters, and
+        the latency histograms all mutate under ``_lock`` as jobs are
+        scheduled and completed; reading them in separate critical sections
+        could tear — e.g. a ``completed`` count that already includes a job
+        whose queue-depth decrement it doesn't.  Everything is therefore
+        snapshotted in a single critical section.  Taking the pool snapshot
+        inside the daemon lock follows the established lock order (daemon
+        lock → pool lock, as in ``_handle_submit``'s admission section).
+        """
         with self._lock:
+            workers = self._pool.snapshot() if self._pool is not None else {}
             jobs = dict(self._counters)
             pending = self._pending
             draining = self._draining
-            cache = (
-                {
-                    "exact_hits": self.cache.exact_hits,
-                    "semantic_hits": self.cache.semantic_hits,
-                    "misses": self.cache.misses,
-                    "stores": self.cache.stores,
-                    "hit_rate": self.cache.hit_rate,
-                }
-                if self.cache is not None
-                else None
-            )
-        return {
-            "type": "health",
+            if kind == "stats":
+                clients = len(self._clients)
+                in_flight_keys = len(self._by_key)
+                latency = self.metrics.snapshot()
+                # The full cache counter set (stats() walks the disk tier,
+                # so it lives on the heavyweight endpoint, not in health).
+                cache = self.cache.stats() if self.cache is not None else None
+            else:
+                cache = (
+                    {
+                        "exact_hits": self.cache.exact_hits,
+                        "semantic_hits": self.cache.semantic_hits,
+                        "misses": self.cache.misses,
+                        "stores": self.cache.stores,
+                        "hit_rate": self.cache.hit_rate,
+                    }
+                    if self.cache is not None
+                    else None
+                )
+        frame = {
+            "type": kind,
             "ok": True,
             "draining": draining,
             "uptime_seconds": (
@@ -575,14 +653,16 @@ class SynthesisDaemon:
             "jobs": jobs,
             "cache": cache,
         }
+        if kind == "stats":
+            frame["clients"] = clients
+            frame["in_flight_keys"] = in_flight_keys
+            frame["trace_jobs"] = self.trace_jobs
+            frame["trace_path"] = str(self.trace_path) if self.trace_path else None
+            frame["latency"] = latency
+        return frame
+
+    def _health_frame(self) -> dict:
+        return self._observability_frame("health")
 
     def _stats_frame(self) -> dict:
-        frame = self._health_frame()
-        frame["type"] = "stats"
-        with self._lock:
-            frame["clients"] = len(self._clients)
-            frame["in_flight_keys"] = len(self._by_key)
-            # The full cache counter set (stats() walks the disk tier, so
-            # it lives on the heavyweight endpoint, not in health).
-            frame["cache"] = self.cache.stats() if self.cache is not None else None
-        return frame
+        return self._observability_frame("stats")

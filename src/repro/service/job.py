@@ -58,6 +58,11 @@ class SynthesisJob:
     #: the inline executor can only honor it cooperatively, by clamping the
     #: config's ``max_seconds`` fuel.
     timeout: Optional[float] = None
+    #: When True the worker records a per-phase span trace of the job
+    #: (``repro.obs``) and ships it back on :attr:`JobResult.trace`.
+    #: Deliberately *not* part of the cache identity — a traced and an
+    #: untraced run of the same job produce the same result.
+    trace: bool = False
     job_id: str = ""
 
     def __post_init__(self):
@@ -96,6 +101,7 @@ class SynthesisJob:
             "term": canonical_term_text(self.term),
             "config": self.config.to_dict(),
             "timeout": self.timeout,
+            "trace": self.trace,
         }
 
 
@@ -120,6 +126,12 @@ class JobResult:
     #: so the cache can store it without re-serializing (internal plumbing;
     #: may be None, in which case callers serialize ``result`` themselves).
     result_payload: Optional[dict] = None
+    #: Exported span list (``repro.obs.trace.Tracer.export()``) when the job
+    #: ran with tracing enabled.  Kept out of :meth:`to_dict` — wire frames
+    #: and cached payloads stay compact; the service/daemon aggregate the
+    #: spans into latency histograms and optionally stream them to a JSONL
+    #: trace file instead.
+    trace: Optional[list] = None
 
     @property
     def ok(self) -> bool:

@@ -25,7 +25,15 @@ Requests (client → daemon)
     ``event`` progress frames.
 
 ``{"type": "health"}`` / ``{"type": "stats"}``
-    Liveness/observability snapshots; answered synchronously.
+    Liveness/observability snapshots; answered synchronously.  Both are
+    taken atomically under the daemon lock.  The ``stats`` response
+    additionally carries ``clients``, ``in_flight_keys``, the full cache
+    counter set, and a ``latency`` section — streaming histogram
+    summaries (count/mean/p50/p95/p99, exact-rank over fixed log-scale
+    buckets) for end-to-end job latency plus per-phase, per-model, and
+    per-cache-tier families (``szalinski stats --percentiles`` renders
+    it; phase families fill in while the daemon runs with job tracing
+    on, the default).
 
 ``{"type": "shutdown"}``
     Ask the daemon to drain in-flight jobs and exit (acked with ``ok``).

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.pipeline import SynthesisResult
+from repro.obs.histogram import MetricsAggregator
 from repro.service.cache import ResultCache, cache_key, semantic_cache_key
 from repro.service.job import JobEvent, JobResult, JobStatus, SynthesisJob
 from repro.service.worker import EventCallback, WorkerPool, run_jobs_inline, _emit
@@ -45,6 +46,9 @@ class BatchReport:
     worker_count: int = 0
     #: Cache counter snapshot for this run ({} when no cache was attached).
     cache: Dict[str, object] = field(default_factory=dict)
+    #: Latency snapshot (``MetricsAggregator.snapshot()``) for this service's
+    #: lifetime so far; per-phase families are populated when tracing is on.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     # -- accessors -------------------------------------------------------------
 
@@ -101,6 +105,7 @@ class BatchReport:
             "batch_hits": self.batch_hits,
             "hit_rate": self.hit_rate,
             "cache": self.cache,
+            "metrics": self.metrics,
             "results": [result.to_dict() for result in self.results],
         }
 
@@ -114,6 +119,7 @@ class SynthesisService:
         cache: Optional[ResultCache] = None,
         on_event: Optional[EventCallback] = None,
         persistent: bool = False,
+        trace: bool = False,
     ):
         if worker_count < 0:
             raise ValueError("worker_count must be >= 0")
@@ -124,6 +130,14 @@ class SynthesisService:
         #: :class:`~repro.service.worker.WorkerPool`); ignored when
         #: ``worker_count == 0``.
         self.persistent = persistent
+        #: When True every executed job runs with per-phase span tracing and
+        #: ships its trace back on :attr:`JobResult.trace`; the trace flag is
+        #: not part of the cache identity.
+        self.trace = trace
+        #: Streaming latency histograms over this service's lifetime (per
+        #: phase / per model / per cache tier); snapshotted into every
+        #: :attr:`BatchReport.metrics`.
+        self.metrics = MetricsAggregator()
 
     def run_batch(self, jobs: Sequence[SynthesisJob]) -> BatchReport:
         """Run a batch of jobs and return their outcomes in submission order.
@@ -133,6 +147,8 @@ class SynthesisService:
         outcome and report the other twice.
         """
         jobs = [self._normalize(job) for job in jobs]
+        if self.trace:
+            jobs = [job if job.trace else replace(job, trace=True) for job in jobs]
         self._reject_duplicate_ids(jobs)
         start = time.perf_counter()
         results: Dict[str, JobResult] = {}
@@ -158,8 +174,14 @@ class SynthesisService:
                     else None
                 )
                 semantic_keys[job.job_id] = semantic_key
+                lookup_start = time.perf_counter()
                 payload, tier = self.cache.lookup(key, semantic_key)
                 if payload is not None:
+                    self.metrics.ingest(
+                        model=job.name,
+                        seconds=time.perf_counter() - lookup_start,
+                        cache_tier=tier,
+                    )
                     results[job.job_id] = JobResult(
                         job_id=job.job_id,
                         name=job.name,
@@ -189,6 +211,9 @@ class SynthesisService:
             for job in to_run:
                 outcome = executed[job.job_id]
                 results[job.job_id] = outcome
+                self.metrics.ingest(
+                    model=job.name, seconds=outcome.seconds, trace=outcome.trace
+                )
                 if self.cache is not None and outcome.ok:
                     # The worker already shipped the result as its to_dict()
                     # form; store that verbatim instead of re-serializing.
@@ -198,6 +223,14 @@ class SynthesisService:
                     )
                 for follower in followers.get(job.job_id, ()):
                     results[follower.job_id] = self._follower_result(follower, outcome)
+                    if outcome.ok:
+                        # The follower's effective latency is the primary's
+                        # execution it waited on.
+                        self.metrics.ingest(
+                            model=follower.name,
+                            seconds=outcome.seconds,
+                            cache_tier="batch",
+                        )
                     _emit(
                         self.on_event,
                         JobEvent(
@@ -213,6 +246,7 @@ class SynthesisService:
             seconds=time.perf_counter() - start,
             worker_count=self.worker_count,
             cache=self.cache.stats() if self.cache is not None else {},
+            metrics=self.metrics.snapshot(),
         )
 
     @staticmethod

@@ -58,8 +58,12 @@ def execute_payload(payload: dict) -> dict:
 
     Outcomes are ``{"job_id", "name", "seconds", "status": "succeeded",
     "result": <SynthesisResult.to_dict()>}`` or ``{"status": "failed",
-    "error": <traceback text>}``.  Imports are deliberately local so a
-    freshly spawned worker only pays for the pipeline once it actually runs.
+    "error": <traceback text>}``.  When the payload carries ``"trace": True``
+    the job runs under a fresh :class:`repro.obs.trace.Tracer` (a root
+    ``job`` span over ``parse`` and the pipeline phases) and the outcome
+    gains ``"trace": <exported span list>``.  Imports are deliberately local
+    so a freshly spawned worker only pays for the pipeline once it actually
+    runs.
     """
     import traceback
 
@@ -69,21 +73,28 @@ def execute_payload(payload: dict) -> dict:
         from repro.core.config import SynthesisConfig
         from repro.core.pipeline import synthesize
         from repro.lang.canon import term_from_canonical
+        from repro.obs.trace import NULL_TRACER, Tracer
 
-        term = term_from_canonical(payload["term"])
-        config = SynthesisConfig.from_dict(payload["config"])
-        timeout = payload.get("timeout")
-        if timeout is not None:
-            # Cooperative deadline: the saturation fuel cannot exceed the
-            # job's budget.  The hard deadline (process kill) is the pool's.
-            config = replace(config, max_seconds=min(config.max_seconds, timeout))
-        result = synthesize(term, config)
-        return {
+        tracer = Tracer() if payload.get("trace") else NULL_TRACER
+        with tracer.span("job", {"job_id": payload["job_id"], "name": payload["name"]}):
+            with tracer.span("parse"):
+                term = term_from_canonical(payload["term"])
+            config = SynthesisConfig.from_dict(payload["config"])
+            timeout = payload.get("timeout")
+            if timeout is not None:
+                # Cooperative deadline: the saturation fuel cannot exceed the
+                # job's budget.  The hard deadline (process kill) is the pool's.
+                config = replace(config, max_seconds=min(config.max_seconds, timeout))
+            result = synthesize(term, config, tracer=tracer)
+        outcome = {
             **base,
             "status": "succeeded",
             "seconds": time.perf_counter() - start,
             "result": result.to_dict(),
         }
+        if tracer.enabled:
+            outcome["trace"] = tracer.export()
+        return outcome
     except Exception:
         return {
             **base,
@@ -181,6 +192,7 @@ def _result_from_outcome(job: SynthesisJob, outcome: dict, seconds: float) -> Jo
             result=SynthesisResult.from_dict(outcome["result"]),
             seconds=seconds,
             result_payload=outcome["result"],
+            trace=outcome.get("trace"),
         )
     return JobResult(
         job_id=job.job_id,

@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.cad.evaluator import EvalError, unroll
 from repro.lang.term import Term
+from repro.obs.trace import NULL_TRACER
 from repro.verify.geometric import GeometricReport, occupancy_agreement
 from repro.verify.structural import (
     equivalent_modulo_reordering,
@@ -40,13 +41,36 @@ def validate_synthesis(
     *,
     epsilon: float = 1e-3,
     geometric_resolution: int = 0,
+    tracer=None,
 ) -> ValidationResult:
     """Validate a synthesized program against the input flat CSG.
 
     Structural checks always run; the geometric check is only performed when
     ``geometric_resolution`` is positive (it is the most expensive) or when
     both structural checks fail and a resolution of 16 is used as a fallback.
+    ``tracer`` records the whole check as a ``validate`` span.
     """
+    tracer = NULL_TRACER if tracer is None else tracer
+    with tracer.span("validate") as span:
+        result = _validate_impl(input_csg, synthesized, epsilon, geometric_resolution)
+        if span is not None:
+            span.update(
+                {
+                    "valid": result.valid,
+                    "exact_match": result.exact_match,
+                    "reorder_match": result.reorder_match,
+                    "geometric": result.geometric is not None,
+                }
+            )
+    return result
+
+
+def _validate_impl(
+    input_csg: Term,
+    synthesized: Term,
+    epsilon: float,
+    geometric_resolution: int,
+) -> ValidationResult:
     try:
         unrolled = unroll(synthesized)
     except EvalError as exc:

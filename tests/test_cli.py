@@ -429,3 +429,131 @@ class TestDaemonCLI:
             assert server.returncode == 0
             assert "draining" in output and "daemon stopped" in output
             assert not Path(sock).exists()
+
+
+class TestObservabilityCLI:
+    """The `--trace` flags plus the `stats` and `trace` subcommands."""
+
+    def test_stats_requires_socket(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats"])
+
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace", "spans.jsonl"])
+        assert args.input == "spans.jsonl"
+        assert args.chrome is None
+
+    def test_synth_trace_writes_wellformed_jsonl(self, csg_file, tmp_path, capsys):
+        from repro.obs import read_trace_jsonl, validate_spans
+
+        trace = tmp_path / "spans.jsonl"
+        exit_code = main(["synth", str(csg_file), "--validate", "--trace", str(trace)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"appended to {trace}" in captured
+
+        records = read_trace_jsonl(trace)
+        assert validate_spans(records) == []
+        names = {record["name"] for record in records}
+        assert {"job", "parse", "saturate", "extract", "validate"} <= names
+        roots = [r for r in records if r["parent_id"] is None]
+        assert len(roots) == 1 and roots[0]["name"] == "job"
+        # Every record is stamped with the job identity for multi-job files.
+        assert all(r["job_id"] == f"synth:{csg_file.stem}" for r in records)
+        assert all(r["model"] == csg_file.stem for r in records)
+
+    def test_synth_without_trace_flag_writes_nothing(self, csg_file, tmp_path, capsys):
+        exit_code = main(["synth", str(csg_file)])
+        assert exit_code == 0
+        assert "trace" not in capsys.readouterr().out
+        assert list(tmp_path.glob("*.jsonl")) == []
+
+    def test_batch_trace_covers_every_job(self, csg_file, tmp_path, capsys):
+        from repro.obs import read_trace_jsonl, validate_spans
+
+        other = tmp_path / "pair.csg"
+        other.write_text(
+            format_term(
+                union_all([translate(3.0 * (i + 1), 0, 0, unit()) for i in range(3)])
+            )
+        )
+        trace = tmp_path / "batch.jsonl"
+        exit_code = main(["batch", str(csg_file), str(other), "--trace", str(trace)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "span(s) appended" in captured
+
+        records = read_trace_jsonl(trace)
+        by_job = {}
+        for record in records:
+            by_job.setdefault(record["job_id"], []).append(record)
+        assert len(by_job) == 2
+        assert {spans[0]["model"] for spans in by_job.values()} == {
+            csg_file.stem, "pair",
+        }
+        for spans in by_job.values():
+            assert validate_spans(spans) == []
+
+    def test_trace_command_summarizes_and_converts(self, csg_file, tmp_path, capsys):
+        trace = tmp_path / "spans.jsonl"
+        chrome = tmp_path / "chrome.json"
+        main(["synth", str(csg_file), "--trace", str(trace)])
+        capsys.readouterr()
+
+        exit_code = main(["trace", str(trace), "--chrome", str(chrome)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "from 1 job(s)" in captured
+        assert "end-to-end" in captured and "phases" in captured
+        assert "saturate" in captured
+        assert "perfetto" in captured.lower()
+
+        payload = json.loads(chrome.read_text())
+        events = payload["traceEvents"]
+        phases = [e for e in events if e["ph"] == "X"]
+        assert phases and all(e["dur"] >= 0 and e["ts"] >= 0 for e in phases)
+        assert any(e["ph"] == "M" for e in events)
+
+    def test_trace_command_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["trace", str(tmp_path / "nope.jsonl")])
+
+    def test_stats_command_against_live_daemon(self, csg_file, capsys):
+        import shutil
+        import tempfile
+
+        from repro.service import SynthesisDaemon
+        from repro.service.protocol import DaemonClient
+
+        tdir = Path(tempfile.mkdtemp(prefix="szs.", dir="/tmp"))
+        daemon = SynthesisDaemon(tdir / "d.sock", worker_count=1)
+        daemon.start()
+        try:
+            with DaemonClient(daemon.socket_path) as client:
+                client.submit_and_wait(
+                    [{"name": "cubes", "term": csg_file.read_text()}]
+                )
+
+            assert main(["stats", "--socket", str(daemon.socket_path)]) == 0
+            frame = json.loads(capsys.readouterr().out)
+            assert frame["latency"]["jobs"]["count"] == 1
+            assert frame["latency"]["phases"]["saturate"]["p95"] > 0.0
+
+            exit_code = main(
+                ["stats", "--socket", str(daemon.socket_path), "--percentiles"]
+            )
+            rendered = capsys.readouterr().out
+            assert exit_code == 0
+            assert "end-to-end" in rendered
+            assert "saturate" in rendered and "extract" in rendered
+            assert "cubes" in rendered  # per-model series
+        finally:
+            daemon.shutdown(drain=False)
+            shutil.rmtree(tdir, ignore_errors=True)
+
+    def test_stats_unreachable_socket_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot reach daemon"):
+            main(
+                ["stats", "--socket", str(tmp_path / "missing.sock"),
+                 "--connect-timeout", "1"]
+            )

@@ -17,6 +17,7 @@ import struct
 import tempfile
 import threading
 import time
+from collections import defaultdict
 from pathlib import Path
 
 import pytest
@@ -24,6 +25,7 @@ import pytest
 from repro.core.config import SynthesisConfig
 from repro.csg.build import translate, union_all, unit
 from repro.csg.pretty import format_term
+from repro.obs import read_trace_jsonl, validate_spans
 from repro.service import ResultCache, SynthesisDaemon
 from repro.service.protocol import (
     DaemonClient,
@@ -319,6 +321,94 @@ class TestDaemonIsolation:
         with DaemonClient(daemon.socket_path) as client:
             (warm,) = client.submit_and_wait([{"name": "warm", "term": text}])
         assert warm["cached"] and warm["cache_tier"] == "exact"
+
+
+class TestDaemonObservability:
+    def test_stats_frame_carries_per_phase_percentiles(self, daemon_factory):
+        """With job tracing on (the default) the stats frame's ``latency``
+        section reports non-zero exact-rank percentiles per phase."""
+        daemon = daemon_factory()
+        with DaemonClient(daemon.socket_path) as client:
+            results = client.submit_and_wait(
+                [{"name": f"c{n}", "term": _chain_text(n)} for n in (3, 4)]
+            )
+            assert all(r["status"] == "succeeded" for r in results)
+            stats = client.stats()
+
+        assert stats["trace_jobs"] is True
+        latency = stats["latency"]
+        assert latency["jobs"]["count"] == 2
+        assert latency["jobs"]["p50"] > 0.0
+        assert latency["spans_ingested"] > 0
+
+        phases = latency["phases"]
+        for phase in ("job", "parse", "saturate", "extract", "determinize"):
+            assert phase in phases, f"missing phase series: {phase}"
+            assert phases[phase]["count"] >= 2
+            for quantile in ("p50", "p95", "p99"):
+                assert phases[phase][quantile] > 0.0
+        # Percentiles are monotone within each series.
+        for series in phases.values():
+            assert series["p50"] <= series["p95"] <= series["p99"]
+        # Per-model series exist for both fresh jobs.
+        assert set(latency["models"]) == {"c3", "c4"}
+        assert latency["cache_tiers"]["fresh"]["count"] == 2
+
+    def test_cache_hits_feed_their_own_tier_series(self, daemon_factory, sock_dir):
+        daemon = daemon_factory(cache=ResultCache(sock_dir / "cache"))
+        text = _chain_text(3)
+        with DaemonClient(daemon.socket_path) as client:
+            client.submit_and_wait([{"name": "cold", "term": text}])
+            (warm,) = client.submit_and_wait([{"name": "warm", "term": text}])
+            stats = client.stats()
+        assert warm["cached"] and warm["cache_tier"] == "exact"
+        tiers = stats["latency"]["cache_tiers"]
+        assert tiers["fresh"]["count"] == 1
+        assert tiers["exact"]["count"] == 1
+        # A cache lookup is faster than a fresh synthesis run.
+        assert tiers["exact"]["mean"] < tiers["fresh"]["mean"]
+
+    def test_trace_path_writes_wellformed_span_trees(self, daemon_factory, sock_dir):
+        trace_path = sock_dir / "trace.jsonl"
+        daemon = daemon_factory(trace_path=trace_path)
+        with DaemonClient(daemon.socket_path) as client:
+            results = client.submit_and_wait(
+                [{"name": f"c{n}", "term": _chain_text(n)} for n in (2, 3)]
+            )
+        assert all(r["status"] == "succeeded" for r in results)
+        records = read_trace_jsonl(trace_path)
+        assert records, "trace_path produced no spans"
+
+        by_job = defaultdict(list)
+        for record in records:
+            assert record["model"] in {"c2", "c3"}
+            by_job[record["job_id"]].append(record)
+        assert len(by_job) == 2
+        for job_id, spans in by_job.items():
+            assert validate_spans(spans) == [], f"malformed tree for {job_id}"
+            roots = [s for s in spans if s.get("parent_id") is None]
+            assert len(roots) == 1 and roots[0]["name"] == "job"
+            # Spans account for >= 95% of the job's wall time (the ISSUE's
+            # coverage floor): direct children sum to nearly the root.
+            root = roots[0]
+            child_total = sum(
+                s["duration"] for s in spans if s.get("parent_id") == root["span_id"]
+            )
+            assert child_total >= 0.95 * root["duration"]
+
+    def test_tracing_disabled_still_reports_end_to_end_latency(self, daemon_factory):
+        daemon = daemon_factory(trace_jobs=False)
+        with DaemonClient(daemon.socket_path) as client:
+            (result,) = client.submit_and_wait([{"name": "c3", "term": _chain_text(3)}])
+            stats = client.stats()
+        assert result["status"] == "succeeded"
+        assert stats["trace_jobs"] is False
+        latency = stats["latency"]
+        # End-to-end and per-model series still populate; phases need spans.
+        assert latency["jobs"]["count"] == 1
+        assert latency["jobs"]["p50"] > 0.0
+        assert latency["phases"] == {}
+        assert latency["spans_ingested"] == 0
 
 
 class TestDaemonShutdown:

@@ -717,3 +717,96 @@ class TestBatchCoalescing:
         ]
         with pytest.raises(ValueError, match="duplicate job ids.*same"):
             SynthesisService(worker_count=0).run_batch(jobs)
+
+
+# ---------------------------------------------------------------------------
+# Observability: batch metrics, trace threading, zero-jobs guards
+# ---------------------------------------------------------------------------
+
+
+class TestServiceObservability:
+    def test_traced_batch_ships_spans_and_phase_metrics(self):
+        service = SynthesisService(worker_count=0, trace=True)
+        jobs = [SynthesisJob(name=f"c{n}", term=_chain(n)) for n in (3, 4)]
+        report = service.run_batch(jobs)
+        assert all(r.ok for r in report.results)
+        for result in report.results:
+            assert result.trace, "traced run must ship spans"
+            assert any(s["name"] == "saturate" for s in result.trace)
+        metrics = report.metrics
+        assert metrics["jobs"]["count"] == 2
+        assert metrics["phases"]["saturate"]["count"] >= 2
+        assert metrics["phases"]["extract"]["p95"] > 0.0
+        assert metrics["models"]["c3"]["count"] == 1
+
+    def test_untraced_batch_has_no_spans_but_still_aggregates_latency(self):
+        service = SynthesisService(worker_count=0)
+        report = service.run_batch([SynthesisJob(name="c", term=_chain(3))])
+        assert report.results[0].trace is None
+        assert report.metrics["jobs"]["count"] == 1
+        assert report.metrics["phases"] == {}
+
+    def test_trace_flag_stays_out_of_cache_identity(self, tmp_path):
+        term = _chain(3)
+        config = SynthesisConfig()
+        job = SynthesisJob(name="c", term=term, config=config)
+        traced = SynthesisJob(name="c", term=term, config=config, trace=True)
+        assert cache_key(job.term, job.config) == cache_key(traced.term, traced.config)
+        # A traced run warms the cache for an untraced one (and vice versa).
+        cache = ResultCache(tmp_path / "cache")
+        SynthesisService(worker_count=0, cache=cache, trace=True).run_batch(
+            [SynthesisJob(name="c", term=term, config=config)]
+        )
+        warm = SynthesisService(worker_count=0, cache=cache).run_batch(
+            [SynthesisJob(name="c", term=term, config=config)]
+        )
+        assert warm.results[0].cached
+
+    def test_cached_payloads_stay_compact_without_trace(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        term = _chain(3)
+        SynthesisService(worker_count=0, cache=cache, trace=True).run_batch(
+            [SynthesisJob(name="c", term=term)]
+        )
+        key = cache_key(term, SynthesisJob(name="c", term=term).config)
+        payload, tier = cache.lookup(key, None)
+        assert tier == "exact"
+        assert "trace" not in payload
+
+    def test_traced_results_match_untraced(self):
+        term = _chain(4)
+        plain = SynthesisService(worker_count=0).run_batch(
+            [SynthesisJob(name="c", term=term)]
+        )
+        traced = SynthesisService(worker_count=0, trace=True).run_batch(
+            [SynthesisJob(name="c", term=term)]
+        )
+        assert [c.term for c in plain.results[0].result.candidates] == [
+            c.term for c in traced.results[0].result.candidates
+        ]
+
+    def test_trace_crosses_the_process_boundary(self):
+        service = SynthesisService(worker_count=1, trace=True)
+        report = service.run_batch([SynthesisJob(name="c", term=_chain(3))])
+        result = report.results[0]
+        assert result.ok
+        assert result.trace
+        assert any(s["name"] == "job" for s in result.trace)
+        # The wire/report form stays compact: no spans in to_dict().
+        assert "trace" not in result.to_dict()
+
+    def test_zero_jobs_batch_reports_zero_hit_rate(self):
+        # Regression pin: an empty batch must report hit_rate 0.0 (not
+        # raise ZeroDivisionError) and serialize cleanly.
+        report = SynthesisService(worker_count=0).run_batch([])
+        assert report.results == []
+        assert report.hit_rate == 0.0
+        payload = report.to_dict()
+        assert payload["hit_rate"] == 0.0
+        assert payload["jobs"] == 0
+        assert payload["metrics"]["jobs"]["count"] == 0
+
+    def test_zero_lookup_cache_reports_zero_hit_rate(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.hit_rate == 0.0
+        assert cache.stats()["hit_rate"] == 0.0
