@@ -1,0 +1,174 @@
+"""Parallel saturation: multi-core e-matching vs the serial trie matcher.
+
+PR 9's acceptance gate.  Runs search-dominated saturation workloads — the
+expansive boolean rules on the 60-tooth gear (backoff bans keep the graph
+bounded while search keeps paying for the whole rule database) and a long
+affine-tower union chain (a large, repeatedly re-discovered match
+population) — once serially (``search_workers=0``) and once with one
+search worker per core, and compares the summed **search-phase** seconds.
+
+Three things are recorded under the ``parallel_search`` key of
+``BENCH_saturation.json``:
+
+* the per-workload search/total seconds for both configurations plus the
+  dispatch counters (parallel epochs, partitions, fallbacks),
+* the summed search-phase speedup,
+* the host's ``cpu_count`` — the CI regression gate applies its floor
+  only when the measuring runner actually had >= 2 cores.
+
+Correctness is asserted **unconditionally**: identical stop reasons, match
+schedules, final graph sizes, and best extraction costs on every host,
+single-core included (there the pool degenerates to one worker process
+and the speedup assertion is skipped — IPC overhead with nothing to
+overlap it is expected to lose).  The ``search_workers=0`` configuration
+is additionally pinned to have created no pool at all: the feature costs
+nothing when it is off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.benchsuite.models import gear_model
+from repro.core.rules import all_rules
+from repro.csg.build import cube, rotate, scale, translate, union
+from repro.egraph.egraph import EGraph
+from repro.egraph.extract import Extractor, ast_size_cost
+from repro.egraph.runner import BackoffConfig, Runner, RunnerLimits
+from repro.lang.term import Term
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_saturation.json"
+
+#: Search-phase floor the parallel fleet must clear at workers == cores on
+#: a multi-core host.  (The CI regression gate re-checks a slightly lower
+#: floor so shared-runner noise cannot flip an advisory job.)
+REQUIRED_PARALLEL_SEARCH_SPEEDUP = 1.5
+
+
+def _affine_tower_chain(count: int) -> Term:
+    """A union chain of translate∘rotate∘scale towers (cf. the apply-dedup
+    benchmark): a large affine match population rediscovered every epoch."""
+
+    def element(index: int) -> Term:
+        return translate(
+            3.0 * index, 0.0, 0.0,
+            rotate(0.0, 0.0, 15.0 * index, scale(2.0, 2.0, 2.0, cube())),
+        )
+
+    chain = element(0)
+    for index in range(1, count):
+        chain = union(chain, element(index))
+    return chain
+
+
+def _workloads():
+    return [
+        (
+            "gear-expansive-boolean",
+            gear_model(),
+            all_rules(),
+            RunnerLimits(max_iterations=12, max_enodes=5_000, max_seconds=60.0),
+            BackoffConfig(match_limit=1_000, ban_length=5),
+        ),
+        (
+            "affine-tower-24",
+            _affine_tower_chain(24),
+            all_rules(),
+            RunnerLimits(max_iterations=10, max_enodes=20_000, max_seconds=60.0),
+            BackoffConfig(match_limit=2_000, ban_length=5),
+        ),
+    ]
+
+
+def _measure(model, rules, limits, backoff, workers: int) -> Dict:
+    egraph = EGraph()
+    root = egraph.add_term(model)
+    runner = Runner(
+        rules, limits, backoff=backoff, incremental=True, search_workers=workers
+    )
+    started = time.perf_counter()
+    report = runner.run(egraph)
+    total = time.perf_counter() - started
+    best = Extractor(egraph, ast_size_cost).extract(root)
+    return {
+        "workers": workers,
+        "search_seconds": sum(it.search_seconds for it in report.iterations),
+        "total_seconds": total,
+        "iterations": len(report.iterations),
+        "stop": str(report.stop_reason),
+        "matches": [it.matches for it in report.iterations],
+        "enodes": egraph.total_enodes,
+        "classes": len(egraph),
+        "best_cost": best.size(),
+        "parallel_epochs": sum(it.parallel_search_epochs for it in report.iterations),
+        "fallback_epochs": sum(it.fallback_epochs for it in report.iterations),
+        "partitions": sum(len(it.partition_seconds) for it in report.iterations),
+    }
+
+
+def _record(payload: dict) -> None:
+    existing = {}
+    if BENCH_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(payload)
+    BENCH_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+@pytest.mark.figure
+def test_parallel_search_speedup_at_workers_equals_cores():
+    cores = os.cpu_count() or 1
+    workers = max(1, cores)
+
+    serial_search = parallel_search = 0.0
+    recorded = {}
+    for name, model, rules, limits, backoff in _workloads():
+        serial = _measure(model, rules, limits, backoff, workers=0)
+        parallel = _measure(model, rules, limits, backoff, workers=workers)
+
+        # Byte-identical semantics on every host, regardless of core count:
+        # same per-iteration match schedule (hence same scheduler bans),
+        # same stop reason, same final graph, same best extraction cost.
+        for key in ("stop", "matches", "iterations", "enodes", "classes", "best_cost"):
+            assert parallel[key] == serial[key], (name, key)
+        # The serial configuration must never have built a pool...
+        assert serial["parallel_epochs"] == 0 and serial["partitions"] == 0, name
+        # ...and the parallel one must have actually dispatched.
+        assert parallel["parallel_epochs"] > 0, (name, parallel)
+
+        serial_search += serial["search_seconds"]
+        parallel_search += parallel["search_seconds"]
+        recorded[name] = {
+            "model_nodes": model.size(),
+            "serial": serial,
+            "parallel": parallel,
+            "search_speedup": serial["search_seconds"]
+            / max(parallel["search_seconds"], 1e-9),
+        }
+
+    speedup = serial_search / max(parallel_search, 1e-9)
+    _record(
+        {
+            "parallel_search": {
+                "cpu_count": cores,
+                "workers": workers,
+                "workloads": recorded,
+                "serial_search_seconds": serial_search,
+                "parallel_search_seconds": parallel_search,
+                "search_speedup": speedup,
+            }
+        }
+    )
+    if cores >= 2:
+        assert speedup >= REQUIRED_PARALLEL_SEARCH_SPEEDUP, (
+            f"parallel search only {speedup:.2f}x faster at {workers} workers "
+            f"(serial {serial_search:.3f}s vs parallel {parallel_search:.3f}s)"
+        )

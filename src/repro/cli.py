@@ -91,6 +91,14 @@ def _config_from_args(args: argparse.Namespace) -> SynthesisConfig:
         incremental_extraction=not args.no_incremental_extraction,
         apply_dedup=not args.no_apply_dedup,
     )
+    if args.search_workers:
+        from repro.egraph.parallel import clamp_search_workers
+
+        # Each concurrent job slot may host its own search pool, so the
+        # requested per-job count is clamped to jobs × workers <= cores
+        # (`synth` and inline `batch --jobs 0` count as one slot).
+        slots = max(1, getattr(args, "jobs", 1) or 1)
+        kwargs["search_workers"] = clamp_search_workers(args.search_workers, slots)
     if args.rules is not None:
         kwargs["rule_categories"] = args.rules
     return SynthesisConfig(**kwargs)
@@ -305,6 +313,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout=args.timeout,
         trace_jobs=not args.no_job_tracing,
         trace_path=args.trace,
+        search_workers=args.search_workers,
     )
     daemon.start()
 
@@ -447,6 +456,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         client = DaemonClient(args.socket, timeout=args.connect_timeout)
     except OSError as exc:
         raise SystemExit(f"stats: cannot reach daemon at {args.socket}: {exc}")
+    if args.prometheus:
+        with client:
+            frame = client.metrics()
+        print(frame.get("text", ""), end="")
+        return 0
     with client:
         frame = client.stats()
     if args.percentiles:
@@ -536,6 +550,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-apply-dedup", action="store_true",
         help="disable the apply-phase dedup ledger (re-apply every match "
         "every iteration)",
+    )
+    parser.add_argument(
+        "--search-workers", type=int, default=0, metavar="N",
+        help="search-worker processes per saturation run (0 = serial); "
+        "e-matching fans out over a shared-memory e-graph snapshot with "
+        "byte-identical results; clamped so jobs x workers <= cores",
     )
     parser.add_argument(
         "--rules", type=_rule_categories, default=None, metavar="CAT[,CAT...]",
@@ -735,6 +755,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--percentiles", action="store_true",
         help="render the latency section as a per-phase/-model/-tier "
         "p50/p95/p99 table instead of dumping the raw JSON frame",
+    )
+    stats.add_argument(
+        "--prometheus", action="store_true",
+        help="print the metrics families as Prometheus text exposition "
+        "(repro_phase_latency_seconds etc.) instead of JSON",
     )
     stats.add_argument(
         "--connect-timeout", type=float, default=60.0,

@@ -1,0 +1,636 @@
+"""Multi-core e-matching over a shared flat e-graph snapshot.
+
+The search phase executes compiled trie programs (:mod:`repro.egraph.pattern`)
+against a *frozen* e-graph — nothing is applied until every rule has searched
+— which makes it embarrassingly parallel.  This module exploits that:
+
+* :class:`ParallelSearchPool` owns a small fleet of long-lived worker
+  processes (spawned once per :meth:`~repro.egraph.runner.Runner.run`,
+  reused every iteration) and exposes the same ``search_classes`` signature
+  as :class:`~repro.egraph.pattern.CompiledRuleSet`, so the incremental
+  matcher plugs it in without knowing the difference.
+* Each search epoch the pool exports the canonical flat representation —
+  the union-find parent array plus every class's ``(op_id, *arg_ids)``
+  node tuples — into **one** ``multiprocessing.shared_memory`` segment of
+  packed int64s (:func:`export_snapshot`).  No per-node pickling: workers
+  map the segment read-only and decode node tuples lazily.  The snapshot
+  is keyed by the e-graph's mutation version, so the (up to) two search
+  calls of one incremental epoch — dirty closure + full sweeps — share it.
+* The candidate class set is computed exactly as the serial matcher
+  computes it (top-symbol operator index, or the caller's dirty closure),
+  sorted, and split into contiguous chunks balanced by per-class e-node
+  counts (:func:`partition_classes`).  Workers run the *identical* trie
+  code per class, and chunk results are concatenated in chunk order —
+  the merged ``{rule name: [RewriteMatch, ...]}`` lists are byte-identical
+  to the serial ones, so backoff scheduling, apply-phase ledgers, and the
+  incremental cache behave exactly as before.
+* A worker crash mid-epoch abandons the dispatch and re-runs it serially
+  (reported via :attr:`IterationReport.fallback_epochs`); the segment is
+  unlinked in ``finally`` blocks so ``/dev/shm`` is never leaked, even on
+  the crash path.
+
+Interplay with the job-level pools (``--jobs`` / the daemon fleet): each
+job worker may host its own search pool, so the knobs multiply — callers
+clamp with :func:`clamp_search_workers` so ``jobs × search_workers`` never
+exceeds the machine, and job workers are spawned ``daemon=False`` because
+daemonic processes may not have children of their own.
+
+Python 3.11 note: attaching :class:`~multiprocessing.shared_memory.SharedMemory`
+by name registers the segment with the child's resource tracker, which
+would unlink it when the child exits (bpo-39959).  On Linux the workers
+therefore map ``/dev/shm/<name>`` directly with :mod:`mmap`; elsewhere they
+attach and best-effort unregister.
+"""
+
+from __future__ import annotations
+
+import mmap
+import multiprocessing
+import os
+import secrets
+import time
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.obs.trace import NULL_TRACER
+
+#: Prefix of every snapshot segment name — the leak tests glob for it.
+SHM_PREFIX = "szpar"
+
+#: Ints of header before the packed arrays: n_ids, n_nodes, data_len, unused.
+_HEADER_INTS = 4
+
+#: Dispatches with fewer candidate classes than this run serially — the
+#: export + IPC overhead dwarfs the search on tiny dirty closures.
+DEFAULT_MIN_CLASSES = 16
+
+#: Worker crashes tolerated (with respawn) before the pool disables itself
+#: for the rest of the run.
+_MAX_CRASHES = 2
+
+
+def clamp_search_workers(
+    requested: int, jobs: int = 1, cpu_count: Optional[int] = None
+) -> int:
+    """Clamp a per-job search-worker count so ``jobs × workers ≤ cores``.
+
+    ``jobs`` is the number of concurrent job slots that may each host a
+    search pool (1 for the inline executor).  Returns 0 (serial) when the
+    machine has no spare cores for the requested layout.
+    """
+    if requested <= 0:
+        return 0
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    slots = max(1, jobs)
+    return max(0, min(requested, cores // slots))
+
+
+# ---------------------------------------------------------------------------
+# Snapshot export (parent side)
+# ---------------------------------------------------------------------------
+
+
+class Snapshot:
+    """One exported e-graph state living in a shared-memory segment.
+
+    Layout (all int64, little-endian native): a 4-int header
+    ``[n_ids, n_nodes, data_len, 0]`` followed by the union-find parent
+    array (``n_ids``), per-id node-index boundaries (``n_ids + 1``),
+    per-node data offsets (``n_nodes + 1``), and the concatenated flat
+    node tuples (``data_len``).
+    """
+
+    __slots__ = ("shm", "name", "key", "meta", "_unlinked")
+
+    def __init__(self, shm, name: str, key: Tuple[int, int], meta: dict) -> None:
+        self.shm = shm
+        self.name = name
+        self.key = key
+        self.meta = meta
+        self._unlinked = False
+
+    def release(self) -> None:
+        """Close and unlink the segment (idempotent, never raises)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self.shm.close()
+        except OSError:
+            pass
+        try:
+            self.shm.unlink()
+        except (OSError, FileNotFoundError):
+            pass
+
+
+def export_snapshot(egraph) -> Snapshot:
+    """Pack the e-graph's canonical flat representation into shared memory.
+
+    The export is one linear pass over the class table building
+    ``array('q')`` buffers; no e-node is ever pickled.  Must run on a
+    freshly rebuilt graph (the runner searches only after ``rebuild()``),
+    so every stored argument id is canonical.
+    """
+    from multiprocessing import shared_memory
+
+    parents: List[int] = egraph._union_find.parents
+    n_ids = len(parents)
+    classes = egraph._classes
+    class_first = array("q", bytes(8 * (n_ids + 1)))
+    node_start = array("q", [0])
+    node_data = array("q")
+    node_count = 0
+    offset = 0
+    for class_id in range(n_ids):
+        class_first[class_id] = node_count
+        eclass = classes.get(class_id)
+        if eclass is not None:
+            for node in eclass.flat:
+                node_data.extend(node)
+                offset += len(node)
+                node_start.append(offset)
+                node_count += 1
+    class_first[n_ids] = node_count
+
+    total = _HEADER_INTS + n_ids + (n_ids + 1) + (node_count + 1) + len(node_data)
+    name = f"{SHM_PREFIX}_{os.getpid()}_{secrets.token_hex(4)}"
+    shm = shared_memory.SharedMemory(create=True, size=max(8, 8 * total), name=name)
+    try:
+        view = memoryview(shm.buf).cast("q")
+        view[0:_HEADER_INTS] = array("q", [n_ids, node_count, len(node_data), 0])
+        pos = _HEADER_INTS
+        view[pos : pos + n_ids] = array("q", parents)
+        pos += n_ids
+        view[pos : pos + n_ids + 1] = class_first
+        pos += n_ids + 1
+        view[pos : pos + node_count + 1] = node_start
+        pos += node_count + 1
+        view[pos : pos + len(node_data)] = node_data
+        del view  # memoryview must not outlive shm.close()
+    except BaseException:
+        shm.close()
+        try:
+            shm.unlink()
+        except (OSError, FileNotFoundError):
+            pass
+        raise
+    meta = {"n_ids": n_ids, "n_nodes": node_count, "data_len": len(node_data), "size": shm.size}
+    return Snapshot(shm, name, (id(egraph), egraph.version), meta)
+
+
+def partition_classes(
+    candidates: Sequence[int], weights: Sequence[int], parts: int
+) -> List[List[int]]:
+    """Split a sorted candidate list into ≤ ``parts`` contiguous chunks.
+
+    Chunks are balanced by cumulative weight (per-class e-node counts — the
+    trie visits every node of a class at least once, so node count estimates
+    match cost far better than class count).  Contiguity is load-bearing:
+    the serial matcher emits matches in ascending class-id order, so
+    concatenating contiguous chunk results in order reproduces it exactly.
+    """
+    if parts <= 1 or len(candidates) <= 1:
+        return [list(candidates)] if candidates else []
+    total = sum(weights)
+    parts = min(parts, len(candidates))
+    target = total / parts
+    chunks: List[List[int]] = []
+    current: List[int] = []
+    acc = 0.0
+    remaining = len(candidates)
+    for class_id, weight in zip(candidates, weights):
+        current.append(class_id)
+        acc += weight
+        remaining -= 1
+        # Close the chunk at the weight target, but never starve the
+        # remaining chunks of at least one class each.
+        if (
+            len(chunks) < parts - 1
+            and acc >= target
+            and remaining >= (parts - 1 - len(chunks))
+        ):
+            chunks.append(current)
+            current = []
+            acc = 0.0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _attach_snapshot(name: str, size: int):
+    """Map a snapshot segment read-only; returns ``(buffer, closer)``.
+
+    Linux fast path: ``mmap`` the ``/dev/shm`` file directly, bypassing
+    ``SharedMemory`` so the child's resource tracker never learns about
+    (and never unlinks) a segment the parent owns.
+    """
+    path = "/dev/shm/" + name
+    if os.path.exists(path):
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            buf = mmap.mmap(fd, size, access=mmap.ACCESS_READ)
+        finally:
+            os.close(fd)
+        return buf, buf.close
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    return shm.buf, shm.close
+
+
+class SnapshotGraph:
+    """Read-only e-graph facade over an attached snapshot.
+
+    Implements exactly the surface the compiled trie touches during a
+    ``class_ids`` search: ``find``, ``flat_nodes``, ``symbols.get``, and
+    ``_union_find.parents``.  The parent array is copied into a local list
+    so the matcher's inlined path compression stays process-local; node
+    tuples are decoded lazily and cached per class.
+    """
+
+    class _LocalUnionFind:
+        __slots__ = ("parents",)
+
+        def __init__(self, parents: List[int]) -> None:
+            self.parents = parents
+
+    __slots__ = ("_union_find", "_class_first", "_node_start", "_node_data", "_decoded", "symbols")
+
+    def __init__(self, buffer, meta: dict) -> None:
+        view = memoryview(buffer).cast("q")
+        n_ids = meta["n_ids"]
+        n_nodes = meta["n_nodes"]
+        data_len = meta["data_len"]
+        pos = _HEADER_INTS
+        self._union_find = self._LocalUnionFind(list(view[pos : pos + n_ids]))
+        pos += n_ids
+        self._class_first = view[pos : pos + n_ids + 1]
+        pos += n_ids + 1
+        self._node_start = view[pos : pos + n_nodes + 1]
+        pos += n_nodes + 1
+        self._node_data = view[pos : pos + data_len]
+        self._decoded: Dict[int, List[Tuple[int, ...]]] = {}
+        #: Operator -> interned op id for this graph; installed per dispatch
+        #: (a plain dict — ``symbols.get`` is all the matcher calls).
+        self.symbols: Dict[object, int] = {}
+
+    def find(self, id_: int) -> int:
+        parents = self._union_find.parents
+        root = id_
+        while parents[root] != root:
+            root = parents[root]
+        while parents[id_] != root:
+            parents[id_], id_ = root, parents[id_]
+        return root
+
+    def flat_nodes(self, id_: int) -> List[Tuple[int, ...]]:
+        class_id = self.find(id_)
+        nodes = self._decoded.get(class_id)
+        if nodes is None:
+            first = self._class_first[class_id]
+            last = self._class_first[class_id + 1]
+            starts = self._node_start
+            data = self._node_data
+            nodes = [
+                tuple(data[starts[index] : starts[index + 1]])
+                for index in range(first, last)
+            ]
+            self._decoded[class_id] = nodes
+        return nodes
+
+
+def _tuple_match(class_id: int, substitution: Dict[str, int], reverse: bool):
+    """Plain-tuple match constructor used inside workers.
+
+    Workers ship ``(class_id, binding items, reverse)`` tuples; the parent
+    re-materializes :class:`~repro.egraph.rewrite.RewriteMatch` objects in
+    the same order, with the same binding insertion order.
+    """
+    return (class_id, tuple(substitution.items()), reverse)
+
+
+def _search_worker_loop(conn, compiled) -> None:
+    """Entry point of one search worker process.
+
+    Speaks a tiny tuple protocol over a duplex pipe:
+
+    * ``("search", snap_name, meta, chunk, enabled, op_ids)`` →
+      ``("ok", seconds, {rule name: [match tuples]})`` or
+      ``("err", repr(exc))``
+    * ``("stop",)`` → exit.
+    """
+    snapshot: Optional[SnapshotGraph] = None
+    snap_name: Optional[str] = None
+    closer = None
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message[0] == "stop":
+                break
+            _, name, meta, chunk, enabled, op_ids = message
+            try:
+                if name != snap_name:
+                    if closer is not None:
+                        snapshot = None
+                        closer()
+                        closer = None
+                    buffer, closer = _attach_snapshot(name, meta["size"])
+                    snapshot = SnapshotGraph(buffer, meta)
+                    snap_name = name
+                snapshot.symbols = op_ids
+                start = time.perf_counter()
+                out = compiled.search_classes(
+                    snapshot,
+                    class_ids=chunk,
+                    enabled=None if enabled is None else set(enabled),
+                    match_type=_tuple_match,
+                )
+                conn.send(("ok", time.perf_counter() - start, out))
+            except Exception as exc:  # surface, let the parent fall back
+                try:
+                    conn.send(("err", repr(exc)))
+                except (OSError, BrokenPipeError):
+                    break
+    finally:
+        if closer is not None:
+            snapshot = None
+            try:
+                closer()
+            except BufferError:
+                pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# The pool (parent side)
+# ---------------------------------------------------------------------------
+
+
+class _Worker:
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+
+
+class ParallelSearchPool:
+    """A persistent fleet of search workers behind the serial matcher's API.
+
+    ``search_classes`` mirrors :meth:`CompiledRuleSet.search_classes` —
+    same arguments, byte-identical results — so it can be handed to the
+    :class:`~repro.egraph.pattern.IncrementalMatcher` as a drop-in searcher.
+    Dispatches smaller than ``min_classes`` run serially (the snapshot and
+    IPC overhead would dominate); crashes fall back serially for the epoch,
+    respawn the fleet up to ``_MAX_CRASHES`` times, then disable the pool
+    for the rest of the run.  All outcomes are counted and drained into the
+    runner's :class:`~repro.egraph.runner.IterationReport` via
+    :meth:`drain_dispatch_stats`.
+    """
+
+    def __init__(
+        self,
+        compiled,
+        workers: int,
+        *,
+        tracer=None,
+        min_classes: int = DEFAULT_MIN_CLASSES,
+    ) -> None:
+        self.compiled = compiled
+        self.workers = max(1, int(workers))
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.min_classes = min_classes
+        self._workers: Optional[List[_Worker]] = None
+        self._snapshot: Optional[Snapshot] = None
+        self._crashes = 0
+        self._disabled = False
+        self._closed = False
+        # Per-iteration counters, drained by the runner after each search.
+        self._parallel_dispatches = 0
+        self._fallback_dispatches = 0
+        self._partition_seconds: List[float] = []
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while the pool may still dispatch work to processes."""
+        return not self._disabled and not self._closed
+
+    def _context(self):
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            return multiprocessing.get_context()
+
+    def _ensure_workers(self) -> List[_Worker]:
+        if self._workers is None:
+            context = self._context()
+            fleet: List[_Worker] = []
+            for _ in range(self.workers):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_search_worker_loop,
+                    args=(child_conn, self.compiled),
+                    daemon=True,  # leaf processes: no children of their own
+                )
+                process.start()
+                child_conn.close()
+                fleet.append(_Worker(process, parent_conn))
+            self._workers = fleet
+        return self._workers
+
+    def _kill_workers(self) -> None:
+        workers, self._workers = self._workers, None
+        if not workers:
+            return
+        for worker in workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        for worker in workers:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+
+    def _release_snapshot(self) -> None:
+        snapshot, self._snapshot = self._snapshot, None
+        if snapshot is not None:
+            snapshot.release()
+
+    def close(self) -> None:
+        """Stop the fleet and unlink the live snapshot (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._kill_workers()
+        finally:
+            self._release_snapshot()
+
+    def __del__(self):  # best effort; Runner.run closes explicitly
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ParallelSearchPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- counters ---------------------------------------------------------------
+
+    def drain_dispatch_stats(self) -> Tuple[int, int, List[float]]:
+        """(parallel dispatches, fallbacks, per-partition worker seconds)
+        accumulated since the previous drain."""
+        stats = (
+            self._parallel_dispatches,
+            self._fallback_dispatches,
+            self._partition_seconds,
+        )
+        self._parallel_dispatches = 0
+        self._fallback_dispatches = 0
+        self._partition_seconds = []
+        return stats
+
+    # -- searching --------------------------------------------------------------
+
+    def _candidates(self, egraph, class_ids: Optional[Iterable[int]]) -> Set[int]:
+        """The candidate class set, computed exactly like the serial matcher."""
+        compiled = self.compiled
+        if class_ids is None:
+            candidates: Set[int] = set()
+            if compiled._has_var_roots:
+                candidates.update(egraph.find(eclass.id) for eclass in egraph.classes())
+            else:
+                for op in compiled._root_edges_by_op:
+                    candidates.update(egraph.classes_with_op(op))
+        else:
+            candidates = {egraph.find(class_id) for class_id in class_ids}
+        return candidates
+
+    def _ensure_snapshot(self, egraph) -> Snapshot:
+        key = (id(egraph), egraph.version)
+        snapshot = self._snapshot
+        if snapshot is not None and snapshot.key == key:
+            return snapshot
+        self._release_snapshot()
+        snapshot = export_snapshot(egraph)
+        self._snapshot = snapshot
+        return snapshot
+
+    def search_classes(
+        self,
+        egraph,
+        class_ids: Optional[Iterable[int]] = None,
+        enabled: Optional[Set[str]] = None,
+    ) -> Dict[str, List]:
+        """Match the enabled rules over the candidate classes, in parallel.
+
+        Returns the exact dict the serial
+        :meth:`CompiledRuleSet.search_classes` would return — same keys,
+        same match objects' values, same order.
+        """
+        compiled = self.compiled
+        if not self.active:
+            return compiled.search_classes(egraph, class_ids=class_ids, enabled=enabled)
+        candidates = sorted(self._candidates(egraph, class_ids))
+        if len(candidates) < max(2, self.min_classes):
+            return compiled.search_classes(egraph, class_ids=candidates, enabled=enabled)
+        try:
+            return self._dispatch(egraph, candidates, enabled)
+        except (EOFError, OSError, BrokenPipeError, _WorkerFailed):
+            self._fallback_dispatches += 1
+            self._crashes += 1
+            self._kill_workers()
+            if self._crashes > _MAX_CRASHES:
+                self._disabled = True
+            try:
+                return compiled.search_classes(
+                    egraph, class_ids=candidates, enabled=enabled
+                )
+            finally:
+                # The snapshot cannot be trusted to be reused after a crash
+                # (and a disabled pool would otherwise hold it until close).
+                self._release_snapshot()
+
+    def _dispatch(
+        self, egraph, candidates: List[int], enabled: Optional[Set[str]]
+    ) -> Dict[str, List]:
+        from repro.egraph.rewrite import RewriteMatch  # local: import cycle
+
+        compiled = self.compiled
+        snapshot = self._ensure_snapshot(egraph)
+        classes = egraph._classes
+        weights = [len(classes[class_id].flat) if class_id in classes else 0
+                   for class_id in candidates]
+        chunks = partition_classes(candidates, weights, self.workers)
+        workers = self._ensure_workers()
+        symbols_get = egraph.symbols.get
+        op_ids = {op: symbols_get(op) for op in compiled._slot_ops}
+        enabled_wire = None if enabled is None else sorted(enabled)
+
+        for index, chunk in enumerate(chunks):
+            workers[index].conn.send(
+                ("search", snapshot.name, snapshot.meta, chunk, enabled_wire, op_ids)
+            )
+
+        merged_raw: List[Dict[str, List]] = []
+        tracer = self.tracer
+        for index, chunk in enumerate(chunks):
+            with tracer.span("search.partition") as span:
+                reply = workers[index].conn.recv()
+                if reply[0] != "ok":
+                    raise _WorkerFailed(reply[1])
+                _, seconds, out = reply
+                self._partition_seconds.append(seconds)
+                merged_raw.append(out)
+                if span is not None:
+                    span.update(
+                        {
+                            "partition": index,
+                            "classes": len(chunk),
+                            "matches": sum(len(m) for m in out.values()),
+                            "worker_seconds": seconds,
+                        }
+                    )
+        self._parallel_dispatches += 1
+
+        results: Dict[str, List] = {}
+        for name in merged_raw[0]:
+            matches: List = []
+            for out in merged_raw:
+                for class_id, items, reverse in out[name]:
+                    matches.append(RewriteMatch(class_id, dict(items), reverse))
+            results[name] = matches
+        return results
+
+
+class _WorkerFailed(Exception):
+    """A worker reported an exception (treated like a crash: serial fallback)."""

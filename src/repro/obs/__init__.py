@@ -15,9 +15,13 @@ pipeline and its serving stack:
 * :mod:`repro.obs.export` — JSONL span export (one span per line) and the
   Chrome ``trace_event`` converter that makes a trace openable in
   Perfetto (``szalinski trace FILE --chrome OUT``).
+* :mod:`repro.obs.prometheus` — Prometheus text-exposition rendering of
+  the aggregator's histogram families (``szalinski stats --prometheus``,
+  the daemon's ``metrics`` frame).
 """
 
 from repro.obs.histogram import LatencyHistogram, MetricsAggregator, format_latency_table
+from repro.obs.prometheus import render_prometheus
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, validate_spans
 from repro.obs.export import (
     chrome_trace,
@@ -31,6 +35,7 @@ __all__ = [
     "LatencyHistogram",
     "MetricsAggregator",
     "format_latency_table",
+    "render_prometheus",
     "NULL_TRACER",
     "NullTracer",
     "Span",

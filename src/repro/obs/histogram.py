@@ -100,6 +100,21 @@ class LatencyHistogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def cumulative_buckets(self) -> List[tuple]:
+        """``(upper_bound_seconds, cumulative_count)`` per occupied bucket.
+
+        Only buckets that gained a sample are listed (ascending, cumulative
+        over the full grid) — the Prometheus exposition renderer emits these
+        plus the ``+Inf`` bucket, which keeps series at most ``count`` long
+        instead of the grid's full 80 bounds.
+        """
+        out: List[tuple] = []
+        cumulative = 0
+        for idx in sorted(self.counts):
+            cumulative += self.counts[idx]
+            out.append((_BOUNDS[idx], cumulative))
+        return out
+
     def to_dict(self) -> Dict[str, float]:
         return {
             "count": self.count,

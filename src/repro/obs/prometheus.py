@@ -1,0 +1,112 @@
+"""Prometheus text-exposition rendering of the metrics families.
+
+Renders a live :class:`~repro.obs.histogram.MetricsAggregator` into the
+Prometheus text exposition format (version 0.0.4): one ``histogram``
+family per aggregator family —
+
+* ``repro_job_latency_seconds`` — end-to-end job latency (no labels),
+* ``repro_phase_latency_seconds{phase="..."}`` — per pipeline phase,
+* ``repro_model_latency_seconds{model="..."}`` — per model / job name,
+* ``repro_cache_tier_latency_seconds{tier="..."}`` — per cache tier,
+
+plus the ``repro_spans_ingested_total`` counter.  Histogram series carry
+cumulative ``_bucket{le="..."}`` samples over the aggregator's fixed
+log-scale grid (only occupied buckets are emitted — cumulative counts
+stay exact, scrape size stays bounded), the mandatory ``le="+Inf"``
+bucket, and ``_sum`` / ``_count``.
+
+The renderer reads the histograms' raw bucket counts directly (not the
+``to_dict`` percentile summaries), so the scraped data is lossless up to
+the grid resolution.  Like the aggregator itself it does no locking —
+the owner renders under its own lock (the daemon's ``metrics`` frame
+snapshots inside one critical section).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.histogram import LatencyHistogram, MetricsAggregator
+
+__all__ = ["render_prometheus"]
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_bound(bound: float) -> str:
+    # repr() of the float: exact round-trip, no trailing-zero padding —
+    # scrapers parse any valid float literal.
+    return repr(bound)
+
+
+def _labels(base: Optional[Dict[str, str]], le: Optional[str] = None) -> str:
+    parts = [f'{name}="{_escape_label(value)}"' for name, value in (base or {}).items()]
+    if le is not None:
+        parts.append(f'le="{le}"')
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _histogram_series(
+    name: str, hist: LatencyHistogram, labels: Optional[Dict[str, str]]
+) -> List[str]:
+    lines: List[str] = []
+    for bound, cumulative in hist.cumulative_buckets():
+        lines.append(
+            f"{name}_bucket{_labels(labels, _format_bound(bound))} {cumulative}"
+        )
+    lines.append(f"{name}_bucket{_labels(labels, '+Inf')} {hist.count}")
+    lines.append(f"{name}_sum{_labels(labels)} {repr(hist.total)}")
+    lines.append(f"{name}_count{_labels(labels)} {hist.count}")
+    return lines
+
+
+def _histogram_family(
+    name: str,
+    help_text: str,
+    series: List[tuple],
+) -> List[str]:
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} histogram"]
+    for labels, hist in series:
+        lines.extend(_histogram_series(name, hist, labels))
+    return lines
+
+
+def render_prometheus(metrics: MetricsAggregator) -> str:
+    """The aggregator's families as Prometheus exposition text."""
+    lines: List[str] = []
+    lines.extend(
+        _histogram_family(
+            "repro_job_latency_seconds",
+            "End-to-end synthesis job latency in seconds.",
+            [(None, metrics.jobs)],
+        )
+    )
+    lines.extend(
+        _histogram_family(
+            "repro_phase_latency_seconds",
+            "Per-phase pipeline latency in seconds.",
+            [({"phase": name}, hist) for name, hist in sorted(metrics.phases.items())],
+        )
+    )
+    lines.extend(
+        _histogram_family(
+            "repro_model_latency_seconds",
+            "Job latency per model in seconds.",
+            [({"model": name}, hist) for name, hist in sorted(metrics.models.items())],
+        )
+    )
+    lines.extend(
+        _histogram_family(
+            "repro_cache_tier_latency_seconds",
+            "Job latency per cache tier in seconds.",
+            [({"tier": name}, hist) for name, hist in sorted(metrics.tiers.items())],
+        )
+    )
+    lines.append(
+        "# HELP repro_spans_ingested_total Phase spans folded into the histograms."
+    )
+    lines.append("# TYPE repro_spans_ingested_total counter")
+    lines.append(f"repro_spans_ingested_total {metrics.spans_ingested}")
+    return "\n".join(lines) + "\n"

@@ -53,14 +53,16 @@ import socket
 import threading
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Set
 
 from repro.core.config import SynthesisConfig
 from repro.core.pipeline import SynthesisResult
+from repro.egraph.parallel import clamp_search_workers
 from repro.obs.export import span_lines, write_trace_jsonl
 from repro.obs.histogram import MetricsAggregator
+from repro.obs.prometheus import render_prometheus
 from repro.service.cache import ResultCache, cache_key, semantic_cache_key
 from repro.service.job import JobEvent, JobResult, JobStatus, SynthesisJob
 from repro.service.protocol import ProtocolError, recv_frame, send_frame
@@ -125,6 +127,7 @@ class SynthesisDaemon:
         start_method: Optional[str] = None,
         trace_jobs: bool = True,
         trace_path=None,
+        search_workers: int = 0,
     ):
         if worker_count < 1:
             raise ValueError("the daemon needs at least one worker")
@@ -132,6 +135,12 @@ class SynthesisDaemon:
             raise ValueError("max_pending must be >= 1")
         self.socket_path = str(socket_path)
         self.worker_count = worker_count
+        #: Search-worker processes granted to *each* job worker's saturation
+        #: runs (0 = serial).  Applied in :meth:`_build_job` to specs that
+        #: did not set their own ``search_workers``; either way the value is
+        #: clamped so ``worker_count × search_workers`` never exceeds the
+        #: machine's cores (each of the fleet's jobs may host its own pool).
+        self.search_workers = clamp_search_workers(search_workers, worker_count)
         self.cache = cache
         self.max_pending = max_pending
         self.default_timeout = default_timeout
@@ -324,6 +333,8 @@ class SynthesisDaemon:
             client.send(self._health_frame())
         elif kind == "stats":
             client.send(self._stats_frame())
+        elif kind == "metrics":
+            client.send(self._metrics_frame())
         elif kind == "shutdown":
             client.send({"type": "ok"})
             self.request_shutdown()
@@ -509,6 +520,15 @@ class SynthesisDaemon:
             if config_dict is not None
             else SynthesisConfig()
         )
+        # Search-pool sizing is a host decision: jobs that do not ask get
+        # the daemon's (pre-clamped) default, and jobs that do ask are
+        # clamped against this fleet's size — a client cannot oversubscribe
+        # the machine.  Either way the cache identity is untouched
+        # (``search_workers`` is excluded from the semantic dict).
+        requested = config.search_workers or self.search_workers
+        clamped = clamp_search_workers(requested, self.worker_count)
+        if clamped != config.search_workers:
+            config = replace(config, search_workers=clamped)
         timeout = spec.get("timeout", self.default_timeout)
         job = SynthesisJob(
             name=name,
@@ -666,3 +686,13 @@ class SynthesisDaemon:
 
     def _stats_frame(self) -> dict:
         return self._observability_frame("stats")
+
+    def _metrics_frame(self) -> dict:
+        """The metrics families as Prometheus exposition text.
+
+        Rendered in one critical section, like the stats frame, so the
+        scraped buckets are a consistent snapshot.
+        """
+        with self._lock:
+            text = render_prometheus(self.metrics)
+        return {"type": "metrics", "content_type": "text/plain; version=0.0.4", "text": text}

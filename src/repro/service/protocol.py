@@ -35,6 +35,13 @@ Requests (client → daemon)
     it; phase families fill in while the daemon runs with job tracing
     on, the default).
 
+``{"type": "metrics"}``
+    The same histogram families rendered as Prometheus text exposition
+    (``repro_phase_latency_seconds`` etc.), answered with ``{"type":
+    "metrics", "content_type": ..., "text": str}`` — the payload for a
+    scrape endpoint or ``szalinski stats --prometheus``.  Snapshotted
+    under the daemon lock like ``stats``.
+
 ``{"type": "shutdown"}``
     Ask the daemon to drain in-flight jobs and exit (acked with ``ok``).
 
@@ -266,6 +273,10 @@ class DaemonClient:
     def stats(self) -> dict:
         """The daemon's full statistics snapshot."""
         return self.request({"type": "stats"})
+
+    def metrics(self) -> dict:
+        """The daemon's metrics as Prometheus exposition text (``text`` key)."""
+        return self.request({"type": "metrics"})
 
     def shutdown(self) -> dict:
         """Ask the daemon to drain and exit; returns the ``ok`` ack."""

@@ -1,0 +1,422 @@
+"""Differential tests: parallel snapshot search vs the serial trie matcher.
+
+The serial compiled-trie search (:meth:`CompiledRuleSet.search_classes`)
+is the oracle.  A :class:`ParallelSearchPool` partitions the same
+candidate classes across worker processes that match against a
+shared-memory snapshot of the flat e-graph; these tests pin the contract
+that the merged result is **byte-identical** to the serial one — same
+rule keys, same match order, same substitution insertion order, same
+``reverse`` flags — across randomized graphs, mutation schedules, and
+enabled-rule subsets, and that the :class:`Runner` therefore reports
+identical saturation outcomes for every ``search_workers`` setting.
+
+The crash tests (satellite of the fallback contract) kill the fleet
+mid-run and assert the epoch falls back to serial with identical
+results and that no ``/dev/shm`` segment outlives the pool.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import random
+import signal
+from typing import Dict, List, Tuple
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SynthesisConfig
+from repro.core.pipeline import synthesize
+from repro.egraph.egraph import EGraph
+from repro.egraph.extract import Extractor, ast_size_cost
+from repro.egraph.parallel import (
+    SHM_PREFIX,
+    ParallelSearchPool,
+    clamp_search_workers,
+    export_snapshot,
+    partition_classes,
+)
+from repro.egraph.pattern import CompiledRuleSet
+from repro.egraph.rewrite import BaseRewrite, dynamic_rewrite, rewrite
+from repro.egraph.runner import BackoffConfig, Runner, RunnerLimits
+from repro.lang.canon import canonical_term_text
+from repro.lang.term import Term
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _shm_segments() -> List[str]:
+    """Live snapshot segments (empty when /dev/shm is not a thing here)."""
+    if not os.path.isdir("/dev/shm"):
+        return []
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}_*")
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_segments():
+    """Every test must leave /dev/shm exactly as it found it."""
+    before = set(_shm_segments())
+    yield
+    leaked = set(_shm_segments()) - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def _rule_db() -> List[BaseRewrite]:
+    """Mirror of the differential suite's nasty rule set.
+
+    The dynamic rewrite matters twice over here: it exercises slot-typed
+    trie programs, and its closure is unpicklable — the pool must ship
+    the compiled programs without the rule objects.
+    """
+
+    def swap_args(egraph: EGraph, _class_id: int, sub: Dict[str, int]):
+        return egraph.add_term(Term("T", (Term("x"),))) if "a" in sub else None
+
+    return [
+        rewrite("comm", "(U ?a ?b)", "(U ?b ?a)"),
+        rewrite("assoc", "(U (U ?a ?b) ?c)", "(U ?a (U ?b ?c))", bidirectional=True),
+        rewrite("idem", "(U ?a ?a)", "?a"),
+        rewrite("unwrap-leaf", "(T x)", "x"),
+        rewrite("wrap", "(T ?a)", "(U ?a ?a)"),
+        rewrite("deep", "(U (T ?a) (T ?b))", "(T (U ?a ?b))", bidirectional=True),
+        dynamic_rewrite("dyn", "(I ?a x)", swap_args),
+    ]
+
+
+def _random_term(rng: random.Random, depth: int = 4) -> Term:
+    if depth == 0 or rng.random() < 0.3:
+        return Term(rng.choice(["x", "y", "z", 1, 2]))
+    op = rng.choice(["U", "U", "I", "T"])
+    arity = 1 if op == "T" else 2
+    return Term(op, tuple(_random_term(rng, depth - 1) for _ in range(arity)))
+
+
+def _ordered(results: Dict[str, List]) -> Dict[str, List[Tuple]]:
+    """Project matches onto comparable tuples, **preserving order**.
+
+    Byte-identical means more than set equality: the apply phase and the
+    backoff scheduler consume matches in list order, and substitution
+    insertion order feeds the apply-dedup fingerprints, so both are part
+    of the contract.
+    """
+    return {
+        name: [
+            (m.class_id, tuple(m.substitution.items()), m.reverse)
+            for m in matches
+        ]
+        for name, matches in results.items()
+    }
+
+
+def _grown_graph(rng: random.Random, terms: int = 14) -> EGraph:
+    egraph = EGraph()
+    ids = [egraph.add_term(_random_term(rng)) for _ in range(terms)]
+    for _ in range(rng.randrange(0, 4)):
+        egraph.merge(rng.choice(ids), rng.choice(ids))
+    egraph.rebuild()
+    return egraph
+
+
+# ---------------------------------------------------------------------------
+# Worker clamp and partitioning units
+# ---------------------------------------------------------------------------
+
+
+def test_clamp_search_workers():
+    assert clamp_search_workers(0) == 0
+    assert clamp_search_workers(-3, cpu_count=8) == 0
+    assert clamp_search_workers(8, cpu_count=4) == 4
+    assert clamp_search_workers(2, cpu_count=16) == 2
+    # jobs x workers never oversubscribes: each of `jobs` slots gets an
+    # equal share of the cores, rounded down.
+    assert clamp_search_workers(4, jobs=2, cpu_count=4) == 2
+    assert clamp_search_workers(4, jobs=3, cpu_count=8) == 2
+    # More jobs than cores: no search parallelism at all.
+    assert clamp_search_workers(4, jobs=8, cpu_count=4) == 0
+
+
+def test_partition_classes_balanced_and_exhaustive():
+    candidates = list(range(10, 30))
+    weights = [1] * 20
+    chunks = partition_classes(candidates, weights, 4)
+    assert [cid for chunk in chunks for cid in chunk] == candidates
+    assert all(len(chunk) == 5 for chunk in chunks)
+
+    # Skewed weights: the heavy head closes partitions early, but every
+    # remaining partition still receives at least one class.
+    weights = [100] + [1] * 19
+    chunks = partition_classes(candidates, weights, 4)
+    assert [cid for chunk in chunks for cid in chunk] == candidates
+    assert all(chunk for chunk in chunks)
+    assert chunks[0] == [10]
+
+    # Fewer classes than partitions: no empty chunks are emitted.
+    chunks = partition_classes([1, 2], [1, 1], 8)
+    assert chunks == [[1], [2]]
+
+
+def test_snapshot_export_roundtrip_released():
+    rng = random.Random(7)
+    egraph = _grown_graph(rng)
+    snapshot = export_snapshot(egraph)
+    try:
+        assert snapshot.meta["n_ids"] >= len(egraph)
+        assert any(seg.endswith(snapshot.name) for seg in _shm_segments()) or not os.path.isdir("/dev/shm")
+    finally:
+        snapshot.release()
+    assert not any(seg.endswith(snapshot.name) for seg in _shm_segments())
+    snapshot.release()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# Matcher-level byte-identical differential
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_parallel_matches_serial_exactly(workers, seed):
+    rng = random.Random(seed)
+    compiled = CompiledRuleSet(_rule_db())
+    egraph = _grown_graph(rng)
+    with ParallelSearchPool(compiled, workers, min_classes=2) as pool:
+        for round_ in range(4):
+            serial = _ordered(compiled.search_classes(egraph))
+            parallel = _ordered(pool.search_classes(egraph))
+            assert parallel == serial, f"seed {seed} round {round_}"
+            dispatched, fallbacks, _ = pool.drain_dispatch_stats()
+            assert fallbacks == 0
+            assert dispatched >= 1, "dispatch unexpectedly short-circuited"
+            # Restricted candidate sets and enabled subsets (the shapes the
+            # incremental matcher issues) must agree too.
+            subset = sorted(rng.sample(sorted(c.id for c in egraph.classes()),
+                                       k=max(2, len(egraph) // 2)))
+            enabled = {r.name for r in _rule_db() if rng.random() < 0.6}
+            serial = _ordered(
+                compiled.search_classes(egraph, class_ids=subset, enabled=enabled)
+            )
+            parallel = _ordered(
+                pool.search_classes(egraph, class_ids=subset, enabled=enabled)
+            )
+            assert parallel == serial, f"seed {seed} round {round_} subset"
+            for _ in range(3):
+                egraph.add_term(_random_term(rng))
+            egraph.merge(
+                rng.choice(sorted(c.id for c in egraph.classes())),
+                rng.choice(sorted(c.id for c in egraph.classes())),
+            )
+            egraph.rebuild()
+
+
+@settings(max_examples=12, deadline=None)
+@given(data=st.data())
+def test_parallel_matches_serial_randomized_schedules(data):
+    """Hypothesis sweep: random graphs, rule schedules, and worker counts."""
+    rng = random.Random(data.draw(st.integers(0, 2**31), label="seed"))
+    workers = data.draw(st.sampled_from(WORKER_COUNTS), label="workers")
+    compiled = CompiledRuleSet(_rule_db())
+    egraph = _grown_graph(rng, terms=data.draw(st.integers(6, 18), label="terms"))
+    rule_names = sorted(r.name for r in _rule_db())
+    with ParallelSearchPool(compiled, workers, min_classes=2) as pool:
+        for _ in range(data.draw(st.integers(1, 3), label="rounds")):
+            enabled_list = data.draw(
+                st.one_of(st.none(), st.sets(st.sampled_from(rule_names))),
+                label="enabled",
+            )
+            enabled = None if enabled_list is None else set(enabled_list)
+            serial = _ordered(compiled.search_classes(egraph, enabled=enabled))
+            parallel = _ordered(pool.search_classes(egraph, enabled=enabled))
+            assert parallel == serial
+            for _ in range(2):
+                egraph.add_term(_random_term(rng))
+            egraph.rebuild()
+
+
+# ---------------------------------------------------------------------------
+# Runner-level parity: whole saturation runs
+# ---------------------------------------------------------------------------
+
+
+def _run_outcome(rules, model: Term, workers: int) -> Dict:
+    egraph = EGraph()
+    root = egraph.add_term(model)
+    runner = Runner(
+        rules,
+        RunnerLimits(max_iterations=8, max_enodes=4_000, max_seconds=30.0),
+        backoff=BackoffConfig(match_limit=40, ban_length=2),
+        incremental=True,
+        search_workers=workers,
+    )
+    report = runner.run(egraph)
+    best = Extractor(egraph, ast_size_cost).extract(root)
+    return {
+        "stop": report.stop_reason,
+        "matches": [it.matches for it in report.iterations],
+        "banned": [sorted(it.banned) for it in report.iterations],
+        # Satellite contract: incremental dirty/searched statistics are the
+        # serial numbers even when the closure was partitioned to workers.
+        "dirty": [it.dirty_classes for it in report.iterations],
+        "searched": [it.searched_classes for it in report.iterations],
+        "sweeps": [sorted(it.full_sweep_rules) for it in report.iterations],
+        "classes": len(egraph),
+        "enodes": egraph.total_enodes,
+        "best_cost": best.size(),
+        "parallel_epochs": sum(it.parallel_search_epochs for it in report.iterations),
+        "fallback_epochs": sum(it.fallback_epochs for it in report.iterations),
+        "partitions": sum(len(it.partition_seconds) for it in report.iterations),
+    }
+
+
+def _runner_model(rng: random.Random) -> Term:
+    """A union chain big enough that the e-graph clears the pool's
+    ``min_classes`` dispatch floor (so the parallel path really runs)."""
+    model = _random_term(rng, 5)
+    for _ in range(3):
+        model = Term("U", (model, _random_term(rng, 5)))
+    return model
+
+
+@pytest.mark.parametrize("seed", [300, 301, 302])
+def test_runner_identical_across_worker_counts(seed):
+    rng = random.Random(seed)
+    rules = _rule_db()
+    model = _runner_model(rng)
+    outcomes = {w: _run_outcome(rules, model, w) for w in (0,) + WORKER_COUNTS}
+
+    semantic_keys = [k for k in outcomes[0]
+                     if k not in ("parallel_epochs", "fallback_epochs", "partitions")]
+    for workers in WORKER_COUNTS:
+        for key in semantic_keys:
+            assert outcomes[workers][key] == outcomes[0][key], (
+                f"seed {seed} workers {workers} diverged on {key}: "
+                f"{outcomes[workers][key]!r} != {outcomes[0][key]!r}"
+            )
+        assert outcomes[workers]["fallback_epochs"] == 0
+    assert outcomes[0]["parallel_epochs"] == 0
+    assert outcomes[0]["partitions"] == 0
+    # At least one configuration must actually have dispatched in parallel,
+    # otherwise this test silently stopped testing the parallel path.
+    assert any(outcomes[w]["parallel_epochs"] > 0 for w in WORKER_COUNTS), outcomes
+
+
+def test_synthesize_parity_on_fast_models(fast_config):
+    from repro.benchsuite.models import fig10_nested_affine
+
+    model = fig10_nested_affine(2)
+    results = {}
+    for workers in (0, 2):
+        config = SynthesisConfig(
+            rewrite_iterations=fast_config.rewrite_iterations,
+            max_enodes=fast_config.max_enodes,
+            max_seconds=fast_config.max_seconds,
+            search_workers=workers,
+        )
+        result = synthesize(model, config)
+        results[workers] = [
+            (candidate.cost, canonical_term_text(candidate.term))
+            for candidate in result.candidates
+        ]
+    assert results[2] == results[0]
+
+
+# ---------------------------------------------------------------------------
+# Configuration surface: cache identity must not see search_workers
+# ---------------------------------------------------------------------------
+
+
+def test_search_workers_excluded_from_semantic_identity():
+    base = SynthesisConfig()
+    parallel = SynthesisConfig(search_workers=4)
+    assert "search_workers" not in base.semantic_dict()
+    assert parallel.semantic_dict() == base.semantic_dict()
+    assert parallel.fingerprint() == base.fingerprint()
+    # ...but the full serialization does round-trip it (hosts need it).
+    assert SynthesisConfig.from_dict(parallel.to_dict()).search_workers == 4
+
+
+# ---------------------------------------------------------------------------
+# Crash fallback: serial results, respawn, no leaked segments
+# ---------------------------------------------------------------------------
+
+
+def _kill_fleet(pool: ParallelSearchPool) -> int:
+    workers = pool._workers or []
+    for worker in workers:
+        os.kill(worker.process.pid, signal.SIGKILL)
+    for worker in workers:
+        worker.process.join(timeout=5.0)
+    return len(workers)
+
+
+def test_worker_crash_falls_back_serially_and_releases_snapshot():
+    rng = random.Random(42)
+    compiled = CompiledRuleSet(_rule_db())
+    egraph = _grown_graph(rng)
+    expected = _ordered(compiled.search_classes(egraph))
+    with ParallelSearchPool(compiled, 2, min_classes=2) as pool:
+        assert _ordered(pool.search_classes(egraph)) == expected
+        pool.drain_dispatch_stats()
+
+        assert _kill_fleet(pool) == 2
+        # The dispatch over the dead fleet must fall back to the serial
+        # matcher for this epoch and still return the identical result.
+        assert _ordered(pool.search_classes(egraph)) == expected
+        dispatched, fallbacks, _ = pool.drain_dispatch_stats()
+        assert fallbacks == 1
+        assert pool._snapshot is None, "crash fallback must release the snapshot"
+        assert pool.active, "one crash must not disable the pool"
+
+        # The next epoch respawns a fresh fleet and goes parallel again.
+        assert _ordered(pool.search_classes(egraph)) == expected
+        dispatched, fallbacks, _ = pool.drain_dispatch_stats()
+        assert (dispatched, fallbacks) == (1, 0)
+    # autouse fixture asserts /dev/shm is clean after close()
+
+
+def test_repeated_crashes_disable_pool_but_stay_correct():
+    rng = random.Random(43)
+    compiled = CompiledRuleSet(_rule_db())
+    egraph = _grown_graph(rng)
+    expected = _ordered(compiled.search_classes(egraph))
+    with ParallelSearchPool(compiled, 1, min_classes=2) as pool:
+        for _ in range(4):
+            pool.search_classes(egraph)  # (re)spawn
+            _kill_fleet(pool)
+            assert _ordered(pool.search_classes(egraph)) == expected
+        assert not pool.active, "crash budget exhausted, pool must disable"
+        # Disabled pool keeps serving correct results via the serial path.
+        assert _ordered(pool.search_classes(egraph)) == expected
+
+
+def test_runner_survives_mid_run_worker_kill(monkeypatch):
+    """A fleet SIGKILLed mid-saturation: serial-identical report, counted
+    fallback epoch, clean /dev/shm afterwards."""
+    # Seed chosen so the e-graph grows well past the dispatch floor: the
+    # parallel path runs for several epochs, giving the sabotage a target.
+    rng = random.Random(502)
+    rules = _rule_db()
+    model = _runner_model(rng)
+
+    baseline = _run_outcome(rules, model, 0)
+
+    state = {"killed": False}
+    original = ParallelSearchPool.search_classes
+
+    def sabotaged(self, egraph, class_ids=None, enabled=None):
+        # Kill the fleet the first time it actually exists (it spawns
+        # lazily on the first above-floor dispatch), exactly once.
+        if not state["killed"] and self._workers:
+            _kill_fleet(self)
+            state["killed"] = True
+        return original(self, egraph, class_ids=class_ids, enabled=enabled)
+
+    monkeypatch.setattr(ParallelSearchPool, "search_classes", sabotaged)
+    crashed = _run_outcome(rules, model, 2)
+
+    for key in ("stop", "matches", "banned", "dirty", "searched",
+                "classes", "enodes", "best_cost"):
+        assert crashed[key] == baseline[key], key
+    assert state["killed"], "the fleet never spawned; nothing was tested"
+    assert crashed["fallback_epochs"] >= 1
+    # autouse fixture asserts no leaked segments
